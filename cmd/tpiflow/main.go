@@ -1,0 +1,67 @@
+// Command tpiflow runs the paper's complete tool flow (Figure 2) once for
+// one circuit and test-point level, and prints the resulting test-data,
+// area, and timing metrics.
+//
+// Usage:
+//
+//	tpiflow -circuit s38417c -scale 0.25 -tp 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"tpilayout"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tpiflow: ")
+	circuit := flag.String("circuit", "s38417c", "circuit profile: s38417c, wctrl1, or p26909c")
+	scale := flag.Float64("scale", 1.0, "circuit size scale factor (1.0 = paper size)")
+	tp := flag.Float64("tp", 1.0, "test points as a percentage of flip-flops")
+	skipATPG := flag.Bool("skip-atpg", false, "run only the physical flow (no pattern generation)")
+	flag.Parse()
+
+	spec, err := tpilayout.SpecByName(*circuit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *scale != 1.0 {
+		spec = spec.Scale(*scale)
+	}
+	design, err := tpilayout.Generate(spec, tpilayout.DefaultLibrary())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := tpilayout.ExperimentConfig(*circuit)
+	cfg.TPPercent = *tp
+	cfg.SkipATPG = *skipATPG
+	res, err := tpilayout.Run(design, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := res.Metrics
+	fmt.Printf("circuit %s (scale %.2f): %d cells, %d flip-flops, %d test points\n",
+		m.Circuit, *scale, m.Cells, m.NumFF, m.NumTP)
+	fmt.Printf("scan: %d chains, l_max %d\n", m.Chains, m.LMax)
+	if !*skipATPG {
+		fmt.Printf("test: %d faults, FC %.2f%%, FE %.2f%%, %d patterns, TDV %d bits, TAT %d cycles\n",
+			m.Faults, m.FC, m.FE, m.Patterns, m.TDV, m.TAT)
+	}
+	fmt.Printf("area: %d rows x %.1f um, core %.0f um2 (filler %.2f%%), chip %.0f um2, wires %.0f um\n",
+		m.Rows, m.LRows/float64(m.Rows), m.CoreArea, m.FillerPct, m.ChipArea, m.LWires)
+	for _, t := range m.Timing {
+		fmt.Printf("timing %-8s: Tcp %.0f ps (Fmax %.1f MHz), %d TPs on path; "+
+			"wires %.0f + intrinsic %.0f + load-dep %.0f + setup %.0f + skew %.0f\n",
+			t.Domain, t.TcpPS, t.FmaxMHz, t.TPOnPath,
+			t.TWires, t.TIntr, t.TLoadDep, t.TSetup, t.TSkew)
+	}
+	if m.SlowNodes > 0 {
+		fmt.Printf("note: %d slow nodes (extrapolated delays)\n", m.SlowNodes)
+	}
+	os.Exit(0)
+}

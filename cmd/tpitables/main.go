@@ -1,0 +1,73 @@
+// Command tpitables regenerates the paper's Tables 1, 2 and 3: for each
+// selected circuit it builds six layouts (0%–5% test points) through the
+// full flow and prints the three tables.
+//
+// Usage:
+//
+//	tpitables -circuits s38417c,wctrl1,p26909c -scale 0.25 -table all
+//
+// At -scale 1 the circuits have their full published sizes; smaller
+// scales keep the structure (and the trends) while running much faster.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"time"
+
+	"tpilayout"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tpitables: ")
+	circuits := flag.String("circuits", "s38417c,wctrl1,p26909c", "comma-separated circuit list")
+	scale := flag.Float64("scale", 1.0, "circuit size scale factor")
+	table := flag.String("table", "all", "which table to print: 1, 2, 3, or all")
+	levels := flag.String("levels", "0,1,2,3,4,5", "test-point percentages to sweep")
+	flag.Parse()
+
+	var pcts []float64
+	for _, s := range strings.Split(*levels, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			log.Fatalf("bad -levels entry %q: %v", s, err)
+		}
+		pcts = append(pcts, v)
+	}
+
+	for _, name := range strings.Split(*circuits, ",") {
+		name = strings.TrimSpace(name)
+		spec, err := tpilayout.SpecByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *scale != 1.0 {
+			spec = spec.Scale(*scale)
+		}
+		design, err := tpilayout.Generate(spec, tpilayout.DefaultLibrary())
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := tpilayout.ExperimentConfig(name)
+		cfg.SkipATPG = *table == "2" || *table == "3"
+		start := time.Now()
+		rows, err := tpilayout.Sweep(design, cfg, pcts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s (scale %.2f, %d layouts, %v) ==\n\n", name, *scale, len(rows), time.Since(start).Round(time.Second))
+		if *table == "1" || *table == "all" {
+			fmt.Println(tpilayout.FormatTable1(rows))
+		}
+		if *table == "2" || *table == "all" {
+			fmt.Println(tpilayout.FormatTable2(rows))
+		}
+		if *table == "3" || *table == "all" {
+			fmt.Println(tpilayout.FormatTable3(rows))
+		}
+	}
+}

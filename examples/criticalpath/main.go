@@ -1,0 +1,65 @@
+// Critical-path exclusion: the Section 5 technique. A baseline layout's
+// critical paths are extracted with static timing analysis, the nets on
+// them are blocked from receiving test points, and the flow is rerun.
+// The comparison shows the trade the paper discusses: excluding critical
+// nets recovers speed, at the cost of steering test points away from
+// some of the nets they would otherwise improve.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"tpilayout"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.1, "circuit size scale (1.0 = paper size)")
+	tp := flag.Float64("tp", 3, "test-point percentage")
+	flag.Parse()
+
+	spec := tpilayout.S38417Class()
+	if *scale != 1.0 {
+		spec = spec.Scale(*scale)
+	}
+	design, err := tpilayout.Generate(spec, tpilayout.DefaultLibrary())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := tpilayout.ExperimentConfig("s38417c")
+	cfg.SkipATPG = true
+
+	base, err := tpilayout.Run(design, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	plain := cfg
+	plain.TPPercent = *tp
+	withTP, err := tpilayout.Run(design, plain)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	exclude, err := tpilayout.CriticalNets(design, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	guarded := plain
+	guarded.ExcludeNets = exclude
+	withExcl, err := tpilayout.Run(design, guarded)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report := func(label string, r *tpilayout.Result) {
+		t := r.Metrics.Timing[0]
+		fmt.Printf("%-28s Tcp %7.0f ps  Fmax %7.1f MHz  TPs on critical path: %d\n",
+			label, t.TcpPS, t.FmaxMHz, t.TPOnPath)
+	}
+	fmt.Printf("excluding %d critical nets from TPI (%.0f%% test points):\n\n", len(exclude), *tp)
+	report("baseline (no test points):", base)
+	report("TPI unconstrained:", withTP)
+	report("TPI with CP exclusion:", withExcl)
+}

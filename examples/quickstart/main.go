@@ -1,0 +1,41 @@
+// Quickstart: run the paper's complete flow once — generate a circuit,
+// insert 1% test points plus full scan, place, reorder chains, run ATPG,
+// build clock trees, route, extract, and time the result — then print the
+// numbers that end up in the paper's tables.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tpilayout"
+)
+
+func main() {
+	// A reduced-size clone of the paper's s38417 profile keeps the
+	// quickstart under a few seconds; pass 1.0 for the full-size circuit.
+	spec := tpilayout.S38417Class().Scale(0.1)
+	design, err := tpilayout.Generate(spec, tpilayout.DefaultLibrary())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := tpilayout.ExperimentConfig("s38417c")
+	cfg.TPPercent = 1
+	res, err := tpilayout.Run(design, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := res.Metrics
+	fmt.Printf("%s: %d cells, %d scan flops in %d chains (l_max %d), %d test points\n",
+		m.Circuit, m.Cells, m.NumFF, m.Chains, m.LMax, m.NumTP)
+	fmt.Printf("test data: FC %.2f%%, FE %.2f%%, %d patterns, TDV %d bits, TAT %d cycles\n",
+		m.FC, m.FE, m.Patterns, m.TDV, m.TAT)
+	fmt.Printf("area:      core %.0f µm² (filler %.2f%%), chip %.0f µm², wires %.0f µm\n",
+		m.CoreArea, m.FillerPct, m.ChipArea, m.LWires)
+	for _, t := range m.Timing {
+		fmt.Printf("timing %s: Tcp %.0f ps = wires %.0f + intrinsic %.0f + load-dep %.0f + setup %.0f + skew %.0f  (Fmax %.1f MHz)\n",
+			t.Domain, t.TcpPS, t.TWires, t.TIntr, t.TLoadDep, t.TSetup, t.TSkew, t.FmaxMHz)
+	}
+}

@@ -1,0 +1,3 @@
+module tpilayout
+
+go 1.22

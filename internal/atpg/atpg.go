@@ -1,0 +1,410 @@
+package atpg
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"sort"
+
+	"tpilayout/internal/fault"
+	"tpilayout/internal/netlist"
+	"tpilayout/internal/testability"
+)
+
+// Options configures an ATPG run.
+type Options struct {
+	// Constraints freezes nets to capture-mode constants (scan-enable = 0,
+	// TSFF controls TE = 0 / TR = 1).
+	Constraints map[netlist.NetID]int8
+	// BacktrackLimit bounds PODEM search per fault (default 64).
+	BacktrackLimit int
+	// RetryFactor multiplies the backtrack limit for one retry pass over
+	// aborted faults (default 8; 0 disables the retry).
+	RetryFactor int
+	// FillSeed seeds the random fill of don't-care bits and the random
+	// pattern phase.
+	FillSeed int64
+	// RandomRounds caps the number of 64-pattern random batches simulated
+	// before deterministic generation (default 48; -1 disables the random
+	// phase). The phase stops early once two consecutive rounds each
+	// detect fewer than 0.1% of the fault classes.
+	RandomRounds int
+	// NoCompact disables the final reverse-order static compaction.
+	NoCompact bool
+	// NoDynamicCompaction disables per-cube secondary-fault targeting.
+	// Dynamic compaction is what lets independent detection requirements
+	// share a pattern — and therefore what makes test points (which turn
+	// conflicting PI requirements into independent scan-cell bits)
+	// reduce the pattern count.
+	NoDynamicCompaction bool
+	// SecondaryLimit caps secondary targets attempted per cube
+	// (default 192).
+	SecondaryLimit int
+	// MaxPatterns aborts the run if the pattern count explodes (default 1<<20).
+	MaxPatterns int
+}
+
+// Pattern is one fully-specified test pattern: one 0/1 value per view
+// source (scan cells first-class among them).
+type Pattern []int8
+
+// Result is the outcome of a Run.
+type Result struct {
+	View     *View
+	Faults   *fault.Set
+	Patterns []Pattern
+
+	// Class counts at the end of the run.
+	UntestableClasses int
+	AbortedClasses    int
+
+	// Pattern provenance after compaction.
+	RandomKept        int // surviving random-phase patterns
+	DeterministicKept int // surviving PODEM patterns
+}
+
+// Run generates a compact stuck-at test set for the capture-mode view of
+// n, updating the fault statuses in set.
+func Run(n *netlist.Netlist, set *fault.Set, opt Options) (*Result, error) {
+	if opt.BacktrackLimit <= 0 {
+		opt.BacktrackLimit = 64
+	}
+	if opt.RetryFactor < 0 {
+		opt.RetryFactor = 0
+	} else if opt.RetryFactor == 0 {
+		opt.RetryFactor = 4
+	}
+	if opt.RandomRounds < 0 {
+		opt.RandomRounds = -1 // explicit disable survives the default below
+	}
+	if opt.MaxPatterns <= 0 {
+		opt.MaxPatterns = 1 << 20
+	}
+	v, err := NewView(n, opt.Constraints)
+	if err != nil {
+		return nil, err
+	}
+	ta, err := testability.Analyze(n, testability.Options{Constraints: opt.Constraints})
+	if err != nil {
+		return nil, err
+	}
+
+	precreditCaptureDead(v, set)
+
+	// Hardest faults first: dedicating early patterns to the hardest
+	// faults lets random fill mop up the easy ones, which is what keeps
+	// the final set compact.
+	reps := append([]int32(nil), set.Reps()...)
+	sort.SliceStable(reps, func(i, j int) bool {
+		return ta.TC(set.Faults[reps[i]].Net) > ta.TC(set.Faults[reps[j]].Net)
+	})
+
+	gen := newPodem(v, ta, opt.BacktrackLimit)
+	fs := NewFaultSim(v)
+	rng := rand.New(rand.NewSource(opt.FillSeed))
+	res := &Result{View: v, Faults: set}
+
+	simulateAndDrop := func(batch *Batch) int {
+		dropped := 0
+		fs.SimGood(batch)
+		for _, r := range reps {
+			st := set.Status(r)
+			if st != fault.Undetected && st != fault.Aborted {
+				continue
+			}
+			if fs.Detects(set.Faults[r], batch, true) != 0 {
+				set.SetStatus(r, fault.Detected)
+				dropped++
+			}
+		}
+		return dropped
+	}
+
+	// Phase 1: random patterns. They sweep the easy bulk of the fault
+	// universe cheaply, leaving the deterministic engine only the
+	// random-pattern-resistant faults (which is exactly the population
+	// test points are inserted for). Useless patterns are discarded again
+	// by the final static compaction.
+	if opt.RandomRounds == 0 {
+		opt.RandomRounds = 48
+	}
+	lowRounds := 0
+	for round := 0; round < opt.RandomRounds && lowRounds < 2; round++ {
+		batch := fs.NewBatch()
+		cube := make([]int8, len(v.Sources))
+		for bit := 0; bit < 64; bit++ {
+			for i := range cube {
+				cube[i] = -1
+			}
+			fillRandom(cube, rng)
+			batch.SetPattern(bit, cube)
+			res.Patterns = append(res.Patterns, append(Pattern(nil), cube...))
+		}
+		if dropped := simulateAndDrop(batch); dropped*1000 < set.NumClasses() {
+			lowRounds++
+		} else {
+			lowRounds = 0
+		}
+	}
+	randomGenerated := len(res.Patterns)
+
+	runPass := func(limit int) error {
+		gen.btLimit = limit
+		for {
+			batch := fs.NewBatch()
+			count := 0
+			for ri, r := range reps {
+				if set.Status(r) != fault.Undetected {
+					continue
+				}
+				cube, g := gen.generate(set.Faults[r])
+				switch g {
+				case genSuccess:
+					// The target is provably detected by its own pattern;
+					// mark now so a slow sim round cannot re-target it.
+					set.SetStatus(r, fault.Detected)
+					if !opt.NoDynamicCompaction {
+						compactInto(gen, set, reps, ri, opt.SecondaryLimit)
+						cube = gen.cube()
+					}
+					fillRandom(cube, rng)
+					batch.SetPattern(count, cube)
+					res.Patterns = append(res.Patterns, Pattern(cube))
+					count++
+				case genUntestable:
+					set.SetStatus(r, fault.Untestable)
+				case genAborted:
+					set.SetStatus(r, fault.Aborted)
+				}
+				if count == 64 {
+					break
+				}
+			}
+			if count == 0 {
+				return nil
+			}
+			if len(res.Patterns) > opt.MaxPatterns {
+				return fmt.Errorf("atpg: pattern count exceeded %d", opt.MaxPatterns)
+			}
+			simulateAndDrop(batch)
+		}
+	}
+
+	if err := runPass(opt.BacktrackLimit); err != nil {
+		return nil, err
+	}
+	if opt.RetryFactor > 1 {
+		// Second chance for aborted faults with a deeper search.
+		for _, r := range reps {
+			if set.Status(r) == fault.Aborted {
+				set.SetStatus(r, fault.Undetected)
+			}
+		}
+		if err := runPass(opt.BacktrackLimit * opt.RetryFactor); err != nil {
+			return nil, err
+		}
+	}
+
+	// Top-up: classes detected only during the random phase would force
+	// the final compaction to keep whole random patterns for a handful of
+	// faults each. Re-target them deterministically (they are easy faults,
+	// and dynamic compaction packs independent easy faults densely); the
+	// random patterns then survive compaction only as a last resort.
+	if randomGenerated > 0 {
+		det := fs.coveredBy(res.Patterns[randomGenerated:], set, reps)
+		var fallback []int32
+		for _, r := range reps {
+			if set.Status(r) == fault.Detected && !det[r] {
+				set.SetStatus(r, fault.Undetected)
+				fallback = append(fallback, r)
+			}
+		}
+		if err := runPass(opt.BacktrackLimit); err != nil {
+			return nil, err
+		}
+		// Anything the top-up could not regenerate is still covered by a
+		// random pattern; restore its status so compaction keeps one.
+		for _, r := range fallback {
+			if st := set.Status(r); st == fault.Aborted || st == fault.Untestable {
+				set.SetStatus(r, fault.Detected)
+			}
+		}
+	}
+
+	if !opt.NoCompact {
+		var kept []bool
+		res.Patterns, kept = compactReverse(fs, set, reps, res.Patterns)
+		for i, k := range kept {
+			if !k {
+				continue
+			}
+			if i < randomGenerated {
+				res.RandomKept++
+			} else {
+				res.DeterministicKept++
+			}
+		}
+	}
+
+	for _, r := range reps {
+		switch set.Status(r) {
+		case fault.Untestable:
+			res.UntestableClasses++
+		case fault.Aborted:
+			res.AbortedClasses++
+		}
+	}
+	return res, nil
+}
+
+// coveredBy simulates the given patterns and reports which of the reps
+// they detect. Statuses are not modified.
+func (fs *FaultSim) coveredBy(patterns []Pattern, set *fault.Set, reps []int32) map[int32]bool {
+	det := make(map[int32]bool)
+	for lo := 0; lo < len(patterns); lo += 64 {
+		batch := fs.NewBatch()
+		for i := lo; i < len(patterns) && i < lo+64; i++ {
+			batch.SetPattern(i-lo, patterns[i])
+		}
+		fs.SimGood(batch)
+		for _, r := range reps {
+			if det[r] || set.Status(r) != fault.Detected {
+				continue
+			}
+			if fs.Detects(set.Faults[r], batch, true) != 0 {
+				det[r] = true
+			}
+		}
+	}
+	return det
+}
+
+// compactInto runs dynamic compaction for the cube currently held by gen:
+// starting after the primary fault's rank, it retargets still-undetected
+// fault classes into the same cube until the attempt budget is spent.
+// Successfully merged classes are marked detected.
+func compactInto(gen *podem, set *fault.Set, reps []int32, primaryRank, limit int) {
+	if limit <= 0 {
+		limit = 192
+	}
+	attempts, consecFails := 0, 0
+	for _, r2 := range reps[primaryRank+1:] {
+		if set.Status(r2) != fault.Undetected {
+			continue
+		}
+		attempts++
+		if attempts > limit {
+			break
+		}
+		if gen.extend(set.Faults[r2], 8) {
+			set.SetStatus(r2, fault.Detected)
+			consecFails = 0
+		} else if consecFails++; consecFails > 48 {
+			break
+		}
+	}
+}
+
+// precreditCaptureDead marks fault classes that capture-mode patterns can
+// never observe but the scan shift/flush tests do: branches into scan-in
+// and scan-enable pins, and faults that force a test-control net to its
+// already-constrained value.
+func precreditCaptureDead(v *View, set *fault.Set) {
+	set.CreditScan(func(f fault.Fault) bool {
+		if cv := v.ConstVal[f.Net]; cv >= 0 && int8(f.SA) == cv {
+			return true // stuck at the capture-mode constant: only other modes see it
+		}
+		if f.Load == fault.StemLoad {
+			// A stem is capture-dead when every load is a scan-path pin.
+			loads := v.Fan[f.Net]
+			if len(loads) == 0 {
+				return false
+			}
+			for _, ld := range loads {
+				if !scanPathPin(v, ld) {
+					return false
+				}
+			}
+			return true
+		}
+		return scanPathPin(v, v.Fan[f.Net][f.Load])
+	})
+}
+
+// scanPathPin reports whether a load is a flip-flop si/se pin.
+func scanPathPin(v *View, ld netlist.Load) bool {
+	if ld.Cell == netlist.NoCell {
+		return false
+	}
+	c := &v.N.Cells[ld.Cell]
+	if !c.Cell.Kind.IsSequential() {
+		return false
+	}
+	name := c.Cell.Inputs[ld.Pin].Name
+	return name == "si" || name == "se"
+}
+
+// fillRandom replaces don't-care bits with random values.
+func fillRandom(cube []int8, rng *rand.Rand) {
+	var w uint64
+	have := 0
+	for i, b := range cube {
+		if b >= 0 {
+			continue
+		}
+		if have == 0 {
+			w = rng.Uint64()
+			have = 64
+		}
+		cube[i] = int8(w & 1)
+		w >>= 1
+		have--
+	}
+}
+
+// compactReverse performs reverse-order static compaction: patterns are
+// processed from last to first and kept only if they detect a fault class
+// not detected by an already-kept (later) pattern. Batched 64 wide; within
+// a batch a fault is credited to its highest-index detecting pattern,
+// which matches the sequential definition exactly.
+func compactReverse(fs *FaultSim, set *fault.Set, reps []int32, patterns []Pattern) ([]Pattern, []bool) {
+	if len(patterns) == 0 {
+		return patterns, nil
+	}
+	// Faults that the final set must keep covered.
+	var targets []int32
+	for _, r := range reps {
+		if set.Status(r) == fault.Detected {
+			targets = append(targets, r)
+		}
+	}
+	done := make(map[int32]bool, len(targets))
+	keep := make([]bool, len(patterns))
+
+	for hi := len(patterns); hi > 0; hi -= min(hi, 64) {
+		lo := hi - min(hi, 64)
+		batch := fs.NewBatch()
+		for i := lo; i < hi; i++ {
+			batch.SetPattern(i-lo, patterns[i])
+		}
+		fs.SimGood(batch)
+		for _, r := range targets {
+			if done[r] {
+				continue
+			}
+			det := fs.Detects(set.Faults[r], batch, false)
+			if det == 0 {
+				continue
+			}
+			done[r] = true
+			keep[lo+bits.Len64(det)-1] = true
+		}
+	}
+	out := patterns[:0]
+	for i, p := range patterns {
+		if keep[i] {
+			out = append(out, p)
+		}
+	}
+	return out, keep
+}

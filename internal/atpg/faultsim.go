@@ -1,0 +1,230 @@
+package atpg
+
+import (
+	"tpilayout/internal/fault"
+	"tpilayout/internal/logicsim"
+	"tpilayout/internal/netlist"
+)
+
+// FaultSim is a 64-way parallel-pattern single-fault-propagation (PPSFP)
+// fault simulator over a capture-mode view: one good-circuit simulation
+// per 64-pattern batch, then per-fault forward propagation of the
+// difference cone with early exit.
+type FaultSim struct {
+	v *View
+
+	good   []uint64 // per net, 64 parallel pattern values
+	faulty []uint64 // copy-on-write overlay, valid when stamp matches
+	stamp  []int32
+	epoch  int32
+
+	buckets [][]netlist.CellID
+	queued  []bool
+}
+
+// NewFaultSim builds a fault simulator for the view.
+func NewFaultSim(v *View) *FaultSim {
+	fs := &FaultSim{
+		v:       v,
+		good:    make([]uint64, len(v.N.Nets)),
+		faulty:  make([]uint64, len(v.N.Nets)),
+		stamp:   make([]int32, len(v.N.Nets)),
+		buckets: make([][]netlist.CellID, v.MaxLevel+2),
+		queued:  make([]bool, len(v.N.Cells)),
+	}
+	return fs
+}
+
+// Batch is up to 64 test patterns in transposed form: Words[i] carries bit
+// b = value of view source i in pattern b. N is the number of valid
+// patterns (low bits).
+type Batch struct {
+	Words []uint64
+	N     int
+}
+
+// NewBatch allocates an empty batch for the view.
+func (fs *FaultSim) NewBatch() *Batch {
+	return &Batch{Words: make([]uint64, len(fs.v.Sources))}
+}
+
+// SetPattern writes pattern values (one int8 0/1 per source; -1 bits are
+// taken as 0) into slot bit of the batch.
+func (b *Batch) SetPattern(bit int, vals []int8) {
+	mask := uint64(1) << uint(bit)
+	for i, v := range vals {
+		if v == 1 {
+			b.Words[i] |= mask
+		} else {
+			b.Words[i] &^= mask
+		}
+	}
+	if bit+1 > b.N {
+		b.N = bit + 1
+	}
+}
+
+// mask returns the valid-pattern mask of the batch.
+func (b *Batch) mask() uint64 {
+	if b.N >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(b.N)) - 1
+}
+
+// SimGood simulates the fault-free circuit for the batch, leaving per-net
+// values in place for subsequent Detects calls.
+func (fs *FaultSim) SimGood(b *Batch) {
+	for i := range fs.good {
+		fs.good[i] = 0
+		if fs.v.ConstVal[i] == 1 {
+			fs.good[i] = ^uint64(0)
+		}
+	}
+	for i, src := range fs.v.Sources {
+		fs.good[src] = b.Words[i]
+	}
+	for _, ci := range fs.v.Order {
+		c := &fs.v.N.Cells[ci]
+		if cv := fs.v.ConstVal[c.Out]; cv >= 0 {
+			continue
+		}
+		fs.good[c.Out] = logicsim.EvalCell(c, fs.good)
+	}
+}
+
+// fval reads the faulty value of a net under the current overlay.
+func (fs *FaultSim) fval(net netlist.NetID) uint64 {
+	if fs.stamp[net] == fs.epoch {
+		return fs.faulty[net]
+	}
+	return fs.good[net]
+}
+
+func (fs *FaultSim) setFval(net netlist.NetID, w uint64) {
+	fs.stamp[net] = fs.epoch
+	fs.faulty[net] = w
+}
+
+// Detects propagates fault f against the last SimGood batch and returns
+// the word of patterns that detect it (observe a difference at a sink).
+// With earlyExit it stops at the first detecting sink, returning a word
+// with at least one bit set.
+func (fs *FaultSim) Detects(f fault.Fault, b *Batch, earlyExit bool) uint64 {
+	m := b.mask()
+	sa := uint64(0)
+	if f.SA == 1 {
+		sa = ^uint64(0)
+	}
+	act := (fs.good[f.Net] ^ sa) & m
+	if act == 0 {
+		return 0 // fault never activated in this batch
+	}
+	fs.epoch++
+	var det uint64
+
+	var faultCell netlist.CellID = netlist.NoCell
+	faultPin := -1
+	if f.Load == fault.StemLoad {
+		fs.setFval(f.Net, sa)
+		if fs.v.IsSink[f.Net] {
+			det |= act
+			if earlyExit {
+				return det
+			}
+		}
+		fs.enqueueLoads(f.Net)
+	} else {
+		ld := fs.v.Fan[f.Net][f.Load]
+		if ld.Cell == netlist.NoCell {
+			// Branch feeding a primary output directly.
+			return act
+		}
+		if !fs.v.Comb(ld.Cell) {
+			// Branch into a flip-flop pin: observable iff the pin is
+			// captured (the d pin); si/se branches are left to the scan
+			// shift/flush tests.
+			c := &fs.v.N.Cells[ld.Cell]
+			if c.Cell.Kind.IsSequential() && c.Cell.FindInput("d") == ld.Pin {
+				return act
+			}
+			return 0
+		}
+		faultCell = ld.Cell
+		faultPin = ld.Pin
+		fs.enqueue(faultCell)
+	}
+
+	gather := func(ci netlist.CellID) uint64 {
+		c := &fs.v.N.Cells[ci]
+		var ins [8]uint64
+		for pin, net := range c.Ins {
+			w := fs.fval(net)
+			if ci == faultCell && pin == faultPin {
+				w = sa
+			}
+			ins[pin] = w
+		}
+		return logicsim.EvalWords(c.Cell.Kind, ins[:len(c.Ins)])
+	}
+
+	for lvl := 1; lvl < len(fs.buckets); lvl++ {
+		bucket := fs.buckets[lvl]
+		for bi := 0; bi < len(bucket); bi++ {
+			ci := bucket[bi]
+			fs.queued[ci] = false
+			c := &fs.v.N.Cells[ci]
+			out := c.Out
+			var nf uint64
+			if cv := fs.v.ConstVal[out]; cv >= 0 {
+				nf = fs.good[out]
+			} else {
+				nf = gather(ci)
+			}
+			if nf == fs.fval(out) {
+				continue
+			}
+			fs.setFval(out, nf)
+			if fs.v.IsSink[out] {
+				det |= (nf ^ fs.good[out]) & m
+				if earlyExit && det != 0 {
+					fs.drain(lvl, bi+1)
+					return det
+				}
+			}
+			fs.enqueueLoads(out)
+		}
+		fs.buckets[lvl] = bucket[:0]
+	}
+	return det & m
+}
+
+// drain clears the remaining queue after an early exit.
+func (fs *FaultSim) drain(fromLvl, fromIdx int) {
+	for lvl := fromLvl; lvl < len(fs.buckets); lvl++ {
+		start := 0
+		if lvl == fromLvl {
+			start = fromIdx
+		}
+		for _, ci := range fs.buckets[lvl][start:] {
+			fs.queued[ci] = false
+		}
+		fs.buckets[lvl] = fs.buckets[lvl][:0]
+	}
+}
+
+func (fs *FaultSim) enqueue(ci netlist.CellID) {
+	if !fs.v.Comb(ci) || fs.queued[ci] {
+		return
+	}
+	fs.queued[ci] = true
+	fs.buckets[fs.v.Level[ci]] = append(fs.buckets[fs.v.Level[ci]], ci)
+}
+
+func (fs *FaultSim) enqueueLoads(net netlist.NetID) {
+	for _, ld := range fs.v.Fan[net] {
+		if ld.Cell != netlist.NoCell {
+			fs.enqueue(ld.Cell)
+		}
+	}
+}

@@ -1,0 +1,355 @@
+package atpg
+
+import (
+	"tpilayout/internal/fault"
+	"tpilayout/internal/netlist"
+)
+
+// sim5 is an event-driven two-plane (good/faulty) three-valued simulator
+// used by PODEM. The composite of the two planes gives the classic
+// five-valued {0, 1, X, D, D̄} algebra.
+type sim5 struct {
+	v    *View
+	G, F []uint8 // per-net good / faulty plane values
+
+	// Injected fault.
+	fNet  netlist.NetID
+	fCell netlist.CellID // load cell for branch faults, NoCell for stem
+	fPin  int
+	fSA   uint8
+	// directObs is set for branch faults into a flip-flop's d pin: the
+	// fault is observed directly by the capture, with no combinational
+	// propagation needed.
+	directObs bool
+
+	// Level-bucketed event queue.
+	buckets [][]netlist.CellID
+	queued  []bool
+
+	// D-frontier candidates (cells that recently had a D input and an X
+	// output). frontier() filters them.
+	cand   []netlist.CellID
+	inCand []bool
+
+	// Baseline plane values with all sources X (constants propagated).
+	baseline []uint8
+
+	// Scratch for X-path search.
+	xpVisit []int32
+	xpEpoch int32
+
+	// Incremental count of sinks currently carrying a fault effect.
+	sinkD   int
+	dAtSink []bool
+
+	ins []uint8 // scratch input buffer
+}
+
+// Composite five-valued views of a net.
+const (
+	c0 uint8 = iota
+	c1
+	cX
+	cD  // good 1, faulty 0
+	cDB // good 0, faulty 1
+)
+
+func newSim5(v *View) *sim5 {
+	s := &sim5{
+		v:       v,
+		G:       make([]uint8, len(v.N.Nets)),
+		F:       make([]uint8, len(v.N.Nets)),
+		buckets: make([][]netlist.CellID, v.MaxLevel+2),
+		queued:  make([]bool, len(v.N.Cells)),
+		inCand:  make([]bool, len(v.N.Cells)),
+		xpVisit: make([]int32, len(v.N.Nets)),
+		dAtSink: make([]bool, len(v.N.Nets)),
+		fCell:   netlist.NoCell,
+		ins:     make([]uint8, 8),
+	}
+	// Baseline: everything X except frozen nets, then one full sweep so
+	// constant-driven logic settles.
+	s.baseline = make([]uint8, len(v.N.Nets))
+	for i := range s.baseline {
+		if cv := v.ConstVal[i]; cv >= 0 {
+			s.baseline[i] = uint8(cv)
+		} else {
+			s.baseline[i] = lX
+		}
+	}
+	tmp := s.baseline
+	for _, ci := range v.Order {
+		c := &v.N.Cells[ci]
+		if v.ConstVal[c.Out] >= 0 {
+			continue
+		}
+		tmp[c.Out] = eval3(c.Cell.Kind, s.gather(c, tmp, netlist.NoCell))
+	}
+	return s
+}
+
+// gather collects three-valued input values for cell c from plane vals,
+// substituting the injected stuck value on the faulty branch pin when
+// cell == s.fCell (pass NoCell to disable substitution).
+func (s *sim5) gather(c *netlist.Instance, vals []uint8, faultCell netlist.CellID) []uint8 {
+	ins := s.ins[:0]
+	for pin, net := range c.Ins {
+		val := vals[net]
+		if faultCell != netlist.NoCell && s.fCell == faultCell && pin == s.fPin {
+			val = s.fSA
+		}
+		ins = append(ins, val)
+	}
+	return ins
+}
+
+// setFault installs fault f and resets both planes to the baseline.
+func (s *sim5) setFault(f fault.Fault) {
+	s.installFault(f)
+	copy(s.G, s.baseline)
+	copy(s.F, s.baseline)
+	s.resetFrontier()
+	s.inject()
+	s.run()
+}
+
+// retarget swaps the injected fault while keeping the current source
+// assignments (and thus the good plane): the faulty plane is rebuilt from
+// the good plane plus the new injection. This is the primitive behind
+// dynamic compaction — extending one test cube to additional faults.
+func (s *sim5) retarget(f fault.Fault) {
+	s.installFault(f)
+	copy(s.F, s.G)
+	s.resetFrontier()
+	s.inject()
+	s.run()
+}
+
+// installFault decodes the fault site into the injection fields.
+func (s *sim5) installFault(f fault.Fault) {
+	s.fNet = f.Net
+	s.fSA = uint8(f.SA)
+	s.fCell = netlist.NoCell
+	s.fPin = -1
+	s.directObs = false
+	if f.Load != fault.StemLoad {
+		ld := s.v.Fan[f.Net][f.Load]
+		s.fCell = ld.Cell
+		s.fPin = ld.Pin
+		if ld.Cell != netlist.NoCell && !s.v.Comb(ld.Cell) {
+			c := &s.v.N.Cells[ld.Cell]
+			s.directObs = c.Cell.Kind.IsSequential() && c.Cell.FindInput("d") == ld.Pin
+		} else if ld.Cell == netlist.NoCell {
+			s.directObs = true // branch straight into a primary output
+		}
+	}
+}
+
+func (s *sim5) resetFrontier() {
+	s.cand = s.cand[:0]
+	for i := range s.inCand {
+		s.inCand[i] = false
+	}
+	s.sinkD = 0
+	for i := range s.dAtSink {
+		s.dAtSink[i] = false
+	}
+}
+
+// inject seeds the faulty plane and the event queue for the current fault.
+func (s *sim5) inject() {
+	if s.fCell == netlist.NoCell {
+		// Stem fault: the faulty plane holds the stuck value.
+		s.F[s.fNet] = s.fSA
+		s.updateSink(s.fNet)
+		s.enqueueLoads(s.fNet)
+	} else {
+		s.enqueue(s.fCell)
+	}
+}
+
+func (s *sim5) enqueue(ci netlist.CellID) {
+	if !s.v.Comb(ci) || s.queued[ci] {
+		return
+	}
+	s.queued[ci] = true
+	lvl := s.v.Level[ci]
+	s.buckets[lvl] = append(s.buckets[lvl], ci)
+}
+
+func (s *sim5) enqueueLoads(net netlist.NetID) {
+	for _, ld := range s.v.Fan[net] {
+		if ld.Cell != netlist.NoCell {
+			s.enqueue(ld.Cell)
+		}
+	}
+}
+
+// assign sets a source (or unassigns it with lX) and repropagates.
+func (s *sim5) assign(net netlist.NetID, val uint8) {
+	s.G[net] = val
+	fv := val
+	if s.fCell == netlist.NoCell && net == s.fNet {
+		fv = s.fSA
+	}
+	s.F[net] = fv
+	s.updateSink(net)
+	s.enqueueLoads(net)
+	s.run()
+}
+
+// updateSink maintains the incremental count of sinks carrying a fault
+// effect after net's planes changed.
+func (s *sim5) updateSink(net netlist.NetID) {
+	if !s.v.IsSink[net] {
+		return
+	}
+	v := s.comp(net)
+	d := v == cD || v == cDB
+	if d != s.dAtSink[net] {
+		s.dAtSink[net] = d
+		if d {
+			s.sinkD++
+		} else {
+			s.sinkD--
+		}
+	}
+}
+
+// run drains the event queue level by level.
+func (s *sim5) run() {
+	for lvl := 1; lvl < len(s.buckets); lvl++ {
+		bucket := s.buckets[lvl]
+		for bi := 0; bi < len(bucket); bi++ {
+			ci := bucket[bi]
+			s.queued[ci] = false
+			c := &s.v.N.Cells[ci]
+			out := c.Out
+			var ng, nf uint8
+			if cv := s.v.ConstVal[out]; cv >= 0 {
+				ng, nf = uint8(cv), uint8(cv)
+			} else {
+				ng = eval3(c.Cell.Kind, s.gather(c, s.G, netlist.NoCell))
+				nf = eval3(c.Cell.Kind, s.gather(c, s.F, ci))
+				if s.fCell == netlist.NoCell && out == s.fNet {
+					nf = s.fSA
+				}
+			}
+			changed := ng != s.G[out] || nf != s.F[out]
+			s.G[out], s.F[out] = ng, nf
+			if changed {
+				s.updateSink(out)
+			}
+			// Track D-frontier candidates.
+			if (ng == lX || nf == lX) && s.hasDInput(c, ci) && !s.inCand[ci] {
+				s.inCand[ci] = true
+				s.cand = append(s.cand, ci)
+			}
+			if changed {
+				s.enqueueLoads(out)
+			}
+		}
+		s.buckets[lvl] = bucket[:0]
+	}
+}
+
+// comp returns the composite five-valued view of a net.
+func (s *sim5) comp(net netlist.NetID) uint8 {
+	g, f := s.G[net], s.F[net]
+	switch {
+	case g == lX || f == lX:
+		return cX
+	case g == f:
+		return g // c0 or c1
+	case g == l1:
+		return cD
+	default:
+		return cDB
+	}
+}
+
+// pinComp is comp() for a specific cell input pin, honoring branch-fault
+// substitution.
+func (s *sim5) pinComp(ci netlist.CellID, pin int) uint8 {
+	net := s.v.N.Cells[ci].Ins[pin]
+	g := s.G[net]
+	f := s.F[net]
+	if ci == s.fCell && pin == s.fPin {
+		f = s.fSA
+	}
+	switch {
+	case g == lX || f == lX:
+		return cX
+	case g == f:
+		return g
+	case g == l1:
+		return cD
+	default:
+		return cDB
+	}
+}
+
+// hasDInput reports whether any input pin of c carries a fault effect.
+func (s *sim5) hasDInput(c *netlist.Instance, ci netlist.CellID) bool {
+	for pin := range c.Ins {
+		if v := s.pinComp(ci, pin); v == cD || v == cDB {
+			return true
+		}
+	}
+	return false
+}
+
+// detected reports whether the fault effect has reached any sink.
+func (s *sim5) detected() bool {
+	if s.directObs {
+		return s.G[s.fNet] == 1-s.fSA
+	}
+	return s.sinkD > 0
+}
+
+// frontier returns the live D-frontier: combinational cells with a fault
+// effect on an input and an X output, compacting the candidate list.
+func (s *sim5) frontier() []netlist.CellID {
+	out := s.cand[:0]
+	for _, ci := range s.cand {
+		c := &s.v.N.Cells[ci]
+		if s.comp(c.Out) == cX && s.hasDInput(c, ci) {
+			out = append(out, ci)
+		} else {
+			s.inCand[ci] = false
+		}
+	}
+	s.cand = out
+	return out
+}
+
+// xpath reports whether an X-valued path exists from net to any sink.
+func (s *sim5) xpathFrom(net netlist.NetID) bool {
+	s.xpEpoch++
+	return s.xpath(net)
+}
+
+func (s *sim5) xpath(net netlist.NetID) bool {
+	if s.v.IsSink[net] {
+		return true
+	}
+	if s.xpVisit[net] == s.xpEpoch {
+		return false
+	}
+	s.xpVisit[net] = s.xpEpoch
+	for _, ld := range s.v.Fan[net] {
+		if ld.Cell == netlist.NoCell {
+			continue
+		}
+		c := &s.v.N.Cells[ld.Cell]
+		if !s.v.Comb(ld.Cell) {
+			// Non-combinational load: a flip-flop input pin. A d pin is
+			// itself a sink net, handled by IsSink above.
+			continue
+		}
+		if s.comp(c.Out) == cX && s.xpath(c.Out) {
+			return true
+		}
+	}
+	return false
+}

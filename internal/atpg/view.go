@@ -1,0 +1,221 @@
+// Package atpg implements combinational automatic test pattern generation
+// for full-scan circuits: PODEM with SCOAP-guided backtracing, 64-way
+// parallel-pattern single-fault-propagation fault simulation, dynamic
+// fault dropping, and reverse-order static compaction. It produces the
+// compact stuck-at pattern sets whose size the paper's Table 1 tracks
+// before and after test point insertion.
+package atpg
+
+import (
+	"tpilayout/internal/netlist"
+	"tpilayout/internal/stdcell"
+)
+
+// View is the capture-mode combinational model of a full-scan netlist:
+// primary inputs and flip-flop outputs are assignable sources, primary
+// outputs and flip-flop data inputs are observed sinks, and test-mode
+// control nets are frozen to their capture values.
+type View struct {
+	N *netlist.Netlist
+
+	// Sources lists assignable nets (pattern bit i drives Sources[i]).
+	Sources []netlist.NetID
+	// SourceOf maps a net to its source index, or -1.
+	SourceOf []int32
+
+	// IsSink marks observed nets (POs and flip-flop d inputs).
+	IsSink []bool
+	// Sinks lists them.
+	Sinks []netlist.NetID
+
+	// ConstVal freezes nets: -1 free, 0/1 forced (constants and
+	// capture-mode constraints such as scan-enable = 0).
+	ConstVal []int8
+
+	// Order is the levelized combinational cell order; Level the depth
+	// per cell (−1 for non-combinational).
+	Order []netlist.CellID
+	Level []int
+
+	// Fan is the netlist fanout index, captured at view construction.
+	Fan [][]netlist.Load
+
+	// MaxLevel is the deepest cell level.
+	MaxLevel int
+}
+
+// NewView builds the capture-mode view. constraints freezes nets to
+// constants for the whole ATPG run.
+func NewView(n *netlist.Netlist, constraints map[netlist.NetID]int8) (*View, error) {
+	lv, err := n.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	v := &View{
+		N:        n,
+		SourceOf: make([]int32, len(n.Nets)),
+		IsSink:   make([]bool, len(n.Nets)),
+		ConstVal: make([]int8, len(n.Nets)),
+		Order:    lv.Order,
+		Level:    lv.CellLevel,
+		Fan:      n.Fanouts(),
+		MaxLevel: lv.MaxLevel,
+	}
+	for i := range v.SourceOf {
+		v.SourceOf[i] = -1
+		v.ConstVal[i] = -1
+	}
+	for i := range n.Nets {
+		if c := n.Nets[i].Const; c >= 0 {
+			v.ConstVal[i] = c
+		}
+	}
+	for net, val := range constraints {
+		v.ConstVal[net] = val
+	}
+	addSource := func(net netlist.NetID) {
+		if v.ConstVal[net] >= 0 || v.SourceOf[net] >= 0 {
+			return
+		}
+		v.SourceOf[net] = int32(len(v.Sources))
+		v.Sources = append(v.Sources, net)
+	}
+	for _, pi := range n.PIs {
+		if !pi.Clock {
+			addSource(pi.Net)
+		}
+	}
+	for _, ff := range n.FlipFlops() {
+		addSource(n.Cells[ff].Out)
+	}
+	addSink := func(net netlist.NetID) {
+		if !v.IsSink[net] {
+			v.IsSink[net] = true
+			v.Sinks = append(v.Sinks, net)
+		}
+	}
+	for _, po := range n.POs {
+		if po.Net != netlist.NoNet {
+			addSink(po.Net)
+		}
+	}
+	for _, ff := range n.FlipFlops() {
+		c := &n.Cells[ff]
+		// In capture mode the flop loads its functional d input (scan
+		// flops have se = 0). Only d is observed.
+		if di := c.Cell.FindInput("d"); di >= 0 {
+			addSink(c.Ins[di])
+		}
+	}
+	return v, nil
+}
+
+// Comb reports whether cell id is a live combinational cell.
+func (v *View) Comb(id netlist.CellID) bool { return v.Level[id] >= 0 }
+
+// Three-valued logic values used by the PODEM planes.
+const (
+	l0 uint8 = 0
+	l1 uint8 = 1
+	lX uint8 = 2
+)
+
+// eval3 evaluates a cell kind over three-valued inputs.
+func eval3(kind stdcell.Kind, in []uint8) uint8 {
+	switch kind {
+	case stdcell.KindInv:
+		return not3(in[0])
+	case stdcell.KindBuf:
+		return in[0]
+	case stdcell.KindAnd, stdcell.KindNand:
+		r := and3n(in)
+		if kind == stdcell.KindNand {
+			return not3(r)
+		}
+		return r
+	case stdcell.KindOr, stdcell.KindNor:
+		r := or3n(in)
+		if kind == stdcell.KindNor {
+			return not3(r)
+		}
+		return r
+	case stdcell.KindXor:
+		return xor3(in[0], in[1])
+	case stdcell.KindXnor:
+		return not3(xor3(in[0], in[1]))
+	case stdcell.KindAoi21:
+		return not3(or3(and3(in[0], in[1]), in[2]))
+	case stdcell.KindOai21:
+		return not3(and3(or3(in[0], in[1]), in[2]))
+	case stdcell.KindMux2:
+		a, b, s := in[0], in[1], in[2]
+		switch s {
+		case l0:
+			return a
+		case l1:
+			return b
+		default:
+			if a == b && a != lX {
+				return a
+			}
+			return lX
+		}
+	}
+	panic("atpg: eval3 on non-logic cell")
+}
+
+func not3(a uint8) uint8 {
+	if a == lX {
+		return lX
+	}
+	return 1 - a
+}
+
+func and3(a, b uint8) uint8 {
+	if a == l0 || b == l0 {
+		return l0
+	}
+	if a == lX || b == lX {
+		return lX
+	}
+	return l1
+}
+
+func xor3(a, b uint8) uint8 {
+	if a == lX || b == lX {
+		return lX
+	}
+	return a ^ b
+}
+
+func or3(a, b uint8) uint8 {
+	if a == l1 || b == l1 {
+		return l1
+	}
+	if a == lX || b == lX {
+		return lX
+	}
+	return l0
+}
+
+func and3n(in []uint8) uint8 {
+	r := l1
+	for _, x := range in {
+		r = and3(r, x)
+		if r == l0 {
+			return l0
+		}
+	}
+	return r
+}
+
+func or3n(in []uint8) uint8 {
+	r := l0
+	for _, x := range in {
+		r = or3(r, x)
+		if r == l1 {
+			return l1
+		}
+	}
+	return r
+}

@@ -1,0 +1,67 @@
+// Package extract computes lumped RC parasitics for every routed net from
+// the global-route wire lengths and the library's per-µm wire constants —
+// the stand-in for the paper's HyperExtract step. The static timing
+// analyzer consumes the result.
+package extract
+
+import (
+	"tpilayout/internal/netlist"
+	"tpilayout/internal/route"
+)
+
+// Parasitics holds per-net lumped values, indexed by NetID.
+type Parasitics struct {
+	// WireR is the wire resistance in kΩ.
+	WireR []float64
+	// WireC is the wire capacitance in fF.
+	WireC []float64
+	// PinC is the total connected input-pin capacitance in fF.
+	PinC []float64
+}
+
+// Extract computes parasitics for all nets of n given routed lengths.
+// Nets without routed length (single-pin, constants) get zero wire RC but
+// still carry their pin capacitance.
+func Extract(n *netlist.Netlist, r *route.Result) *Parasitics {
+	p := &Parasitics{
+		WireR: make([]float64, len(n.Nets)),
+		WireC: make([]float64, len(n.Nets)),
+		PinC:  make([]float64, len(n.Nets)),
+	}
+	lib := n.Lib
+	for id := range n.Nets {
+		if n.Nets[id].Dead {
+			continue
+		}
+		if r != nil && id < len(r.NetLen) {
+			l := r.NetLen[id]
+			p.WireR[id] = l * lib.WireResPerUM
+			p.WireC[id] = l * lib.WireCapPerUM
+		}
+	}
+	for ci := range n.Cells {
+		c := &n.Cells[ci]
+		if c.Dead {
+			continue
+		}
+		for pin, net := range c.Ins {
+			if net != netlist.NoNet {
+				p.PinC[net] += c.Cell.Inputs[pin].Cap
+			}
+		}
+	}
+	return p
+}
+
+// TotalLoad returns the capacitive load a driver of net sees: wire plus
+// all input pins.
+func (p *Parasitics) TotalLoad(net netlist.NetID) float64 {
+	return p.WireC[net] + p.PinC[net]
+}
+
+// WireDelay returns the Elmore delay of the net's wire in ps: the wire
+// resistance drives half its own capacitance plus the full pin load
+// (kΩ · fF = ps).
+func (p *Parasitics) WireDelay(net netlist.NetID) float64 {
+	return p.WireR[net] * (p.WireC[net]/2 + p.PinC[net])
+}

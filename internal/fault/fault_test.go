@@ -1,0 +1,183 @@
+package fault
+
+import (
+	"testing"
+
+	"tpilayout/internal/circuitgen"
+	"tpilayout/internal/netlist"
+	"tpilayout/internal/stdcell"
+)
+
+func invChain(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	lib := stdcell.Default()
+	n := netlist.New("inv", lib)
+	a := n.AddPI("a")
+	y := n.AddNet("y")
+	n.AddCell("g", lib.MustCell("INVX1"), []netlist.NetID{a}, y)
+	n.AddPO("y", y)
+	return n
+}
+
+func TestUniverseInverter(t *testing.T) {
+	s := NewUniverse(invChain(t))
+	// Sites: a stem, a→g branch, y stem, y→PO branch — 4 sites, 8 faults.
+	if s.Total() != 8 {
+		t.Fatalf("Total = %d, want 8", s.Total())
+	}
+	// All of a-sa0 ≡ y-sa1 and a-sa1 ≡ y-sa0: exactly 2 classes.
+	if s.NumClasses() != 2 {
+		t.Fatalf("NumClasses = %d, want 2", s.NumClasses())
+	}
+}
+
+func TestUniverseAndGate(t *testing.T) {
+	lib := stdcell.Default()
+	n := netlist.New("and", lib)
+	a := n.AddPI("a")
+	b := n.AddPI("b")
+	y := n.AddNet("y")
+	n.AddCell("g", lib.MustCell("AND2X1"), []netlist.NetID{a, b}, y)
+	n.AddPO("y", y)
+	s := NewUniverse(n)
+	if s.Total() != 12 {
+		t.Fatalf("Total = %d, want 12", s.Total())
+	}
+	// Classes: {a0,b0,y0}, {a1}, {b1}, {y1} (branches folded into stems).
+	if s.NumClasses() != 4 {
+		t.Fatalf("NumClasses = %d, want 4", s.NumClasses())
+	}
+}
+
+func TestFanoutBranchesStayDistinct(t *testing.T) {
+	// A net with two loads: branch faults must not collapse into the stem.
+	lib := stdcell.Default()
+	n := netlist.New("fan", lib)
+	a := n.AddPI("a")
+	w := n.AddNet("w")
+	y1 := n.AddNet("y1")
+	y2 := n.AddNet("y2")
+	n.AddCell("g0", lib.MustCell("BUFX1"), []netlist.NetID{a}, w)
+	n.AddCell("g1", lib.MustCell("INVX1"), []netlist.NetID{w}, y1)
+	n.AddCell("g2", lib.MustCell("INVX1"), []netlist.NetID{w}, y2)
+	n.AddPO("y1", y1)
+	n.AddPO("y2", y2)
+	s := NewUniverse(n)
+	// w's two branch pairs must be in different classes from each other.
+	var b0 []int32
+	for i, f := range s.Faults {
+		if f.Net == w && f.Load >= 0 && f.SA == 0 {
+			b0 = append(b0, int32(i))
+		}
+	}
+	if len(b0) != 2 {
+		t.Fatalf("found %d sa0 branch faults on w, want 2", len(b0))
+	}
+	if s.Rep[b0[0]] == s.Rep[b0[1]] {
+		t.Error("distinct branches of a fanout stem were collapsed together")
+	}
+}
+
+func TestStatusSharedAcrossClass(t *testing.T) {
+	s := NewUniverse(invChain(t))
+	// Find a-sa0 (stem) and y-sa1 (stem) — equivalent through the inverter.
+	var aSA0, ySA1 int32 = -1, -1
+	for i, f := range s.Faults {
+		if f.Load != StemLoad {
+			continue
+		}
+		name := s.N.Nets[f.Net].Name
+		if name == "a" && f.SA == 0 {
+			aSA0 = int32(i)
+		}
+		if name == "y" && f.SA == 1 {
+			ySA1 = int32(i)
+		}
+	}
+	if aSA0 < 0 || ySA1 < 0 {
+		t.Fatal("stem faults not found")
+	}
+	if s.Rep[aSA0] != s.Rep[ySA1] {
+		t.Fatal("a-sa0 and y-sa1 should be equivalent through an inverter")
+	}
+	s.SetStatus(aSA0, Detected)
+	if s.Status(ySA1) != Detected {
+		t.Error("status did not propagate across the equivalence class")
+	}
+}
+
+func TestCoverageAndCounts(t *testing.T) {
+	s := NewUniverse(invChain(t))
+	reps := s.Reps()
+	s.SetStatus(reps[0], Detected)
+	s.SetStatus(reps[1], Untestable)
+	fc, fe := s.Coverage()
+	// One class detected (4 faults), one untestable (4 faults).
+	if fc != 0.5 {
+		t.Errorf("FC = %g, want 0.5", fc)
+	}
+	if fe != 1.0 {
+		t.Errorf("FE = %g, want 1.0", fe)
+	}
+	c := s.Counts()
+	if c[Detected] != 4 || c[Untestable] != 4 {
+		t.Errorf("Counts = %v", c)
+	}
+}
+
+func TestCreditScan(t *testing.T) {
+	s := NewUniverse(invChain(t))
+	n := s.CreditScan(func(f Fault) bool { return s.N.Nets[f.Net].Name == "a" })
+	if n == 0 {
+		t.Fatal("CreditScan matched nothing")
+	}
+	fc, _ := s.Coverage()
+	if fc == 0 {
+		t.Error("scan-credited faults must count toward FC")
+	}
+	// Already-credited classes must not be credited twice.
+	if again := s.CreditScan(func(Fault) bool { return true }); again+n != len(s.Reps()) {
+		t.Errorf("second CreditScan credited %d, want %d", again, len(s.Reps())-n)
+	}
+}
+
+func TestNoFaultsOnClocksOrFillers(t *testing.T) {
+	lib := stdcell.Default()
+	n := netlist.New("clk", lib)
+	clk, dom := n.AddClockPI("clk", 1000)
+	d := n.AddPI("d")
+	q := n.AddNet("q")
+	ff := n.AddCell("ff", lib.MustCell("DFFX1"), []netlist.NetID{d, clk}, q)
+	n.Cells[ff].Domain = dom
+	n.AddPO("q", q)
+	n.AddCell("fill", lib.MustCell("FILL4"), nil, netlist.NoNet)
+	s := NewUniverse(n)
+	for _, f := range s.Faults {
+		if f.Net == clk {
+			t.Fatalf("fault modeled on clock net: %+v", f)
+		}
+	}
+	// d stem+branch (4) + q stem+PO (4): 8 faults.
+	if s.Total() != 8 {
+		t.Errorf("Total = %d, want 8", s.Total())
+	}
+}
+
+func TestUniverseScalesOnGeneratedCircuit(t *testing.T) {
+	lib := stdcell.Default()
+	n, err := circuitgen.Generate(circuitgen.S38417Class().Scale(0.02), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewUniverse(n)
+	if s.Total() < 2*n.NumLiveCells() {
+		t.Errorf("suspiciously few faults: %d for %d cells", s.Total(), n.NumLiveCells())
+	}
+	if s.NumClasses() >= s.Total() {
+		t.Error("collapsing had no effect")
+	}
+	ratio := float64(s.NumClasses()) / float64(s.Total())
+	if ratio > 0.8 || ratio < 0.2 {
+		t.Errorf("collapse ratio %.2f outside plausible range [0.2,0.8]", ratio)
+	}
+}

@@ -1,0 +1,56 @@
+package flow
+
+import (
+	"strings"
+	"testing"
+
+	"tpilayout/internal/scan"
+)
+
+// Error-path coverage: the flow must fail loudly, with a stage-tagged
+// error, rather than produce a half-built layout.
+
+func TestFlowRejectsMissingScanConfig(t *testing.T) {
+	n := design(t)
+	cfg := Config{} // neither MaxChainLength nor MaxChains
+	cfg.Place.TargetUtilization = 0.9
+	_, err := Run(n, cfg)
+	if err == nil || !strings.Contains(err.Error(), "scan") {
+		t.Fatalf("err = %v, want scan-stage failure", err)
+	}
+}
+
+func TestFlowRejectsBadUtilization(t *testing.T) {
+	n := design(t)
+	cfg := Config{Scan: scan.Options{MaxChainLength: 50}}
+	cfg.Place.TargetUtilization = 1.5
+	_, err := Run(n, cfg)
+	if err == nil || !strings.Contains(err.Error(), "place") {
+		t.Fatalf("err = %v, want place-stage failure", err)
+	}
+}
+
+func TestFlowRejectsOverfullTPBudget(t *testing.T) {
+	n := design(t)
+	cfg := Config{Scan: scan.Options{MaxChainLength: 50}, SkipATPG: true}
+	cfg.Place.TargetUtilization = 0.9
+	cfg.TPPercent = 100000 // more test points than insertable nets
+	_, err := Run(n, cfg)
+	if err == nil || !strings.Contains(err.Error(), "TPI") {
+		t.Fatalf("err = %v, want TPI-stage failure", err)
+	}
+}
+
+func TestFlowDoesNotMutateInput(t *testing.T) {
+	n := design(t)
+	cells, nets, ffs := n.NumLiveCells(), len(n.Nets), n.NumFlipFlops()
+	cfg := Config{Scan: scan.Options{MaxChainLength: 50}, SkipATPG: true}
+	cfg.Place.TargetUtilization = 0.9
+	cfg.TPPercent = 2
+	if _, err := Run(n, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if n.NumLiveCells() != cells || len(n.Nets) != nets || n.NumFlipFlops() != ffs {
+		t.Error("flow mutated the caller's design")
+	}
+}

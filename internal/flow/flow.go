@@ -1,0 +1,355 @@
+// Package flow orchestrates the paper's complete tool flow (Figure 2):
+//
+//  1. TPI & scan insertion          (tpi, scan)
+//  2. Floorplanning & placement     (place)
+//  3. Layout-driven scan chain reordering + ATPG   (scan, atpg)
+//  4. ECO: clock trees, fillers, routing           (place, cts, route)
+//  5. Layout extraction             (extract)
+//  6. Static timing analysis        (sta)
+//
+// One Run produces one layout plus every number the paper's Tables 1–3
+// report for it.
+package flow
+
+import (
+	"fmt"
+	"math"
+
+	"tpilayout/internal/atpg"
+	"tpilayout/internal/cts"
+	"tpilayout/internal/extract"
+	"tpilayout/internal/fault"
+	"tpilayout/internal/netlist"
+	"tpilayout/internal/place"
+	"tpilayout/internal/route"
+	"tpilayout/internal/scan"
+	"tpilayout/internal/sta"
+	"tpilayout/internal/testdata"
+	"tpilayout/internal/tpi"
+)
+
+// Config selects the DfT and layout parameters of one flow run.
+type Config struct {
+	// TPPercent is the number of test points as a percentage of the
+	// flip-flop count (the paper sweeps 0–5%).
+	TPPercent float64
+	// ExcludeNets blocks nets from TPI (critical-path exclusion).
+	ExcludeNets map[netlist.NetID]bool
+
+	Scan  scan.Options
+	Place place.Options
+	ATPG  atpg.Options
+	CTS   cts.Options
+	Route route.Options
+	STA   sta.Options
+
+	// SkipATPG runs only the physical side (steps 2–6); Table 2/3
+	// sweeps do not need patterns.
+	SkipATPG bool
+
+	// TimingOptRounds enables the timing-optimization design iterations
+	// the paper's Section 5 discusses (and deliberately does not run for
+	// its own tables): after STA, every combinational cell on a critical
+	// path is swapped to its strongest drive variant and the physical
+	// flow (placement, clock trees, routing, extraction, STA) is redone,
+	// up to this many times. Speed is bought with silicon area, exactly
+	// the trade the paper describes.
+	TimingOptRounds int
+}
+
+// Result carries every artifact of one flow run.
+type Result struct {
+	Netlist *netlist.Netlist
+	TPs     *tpi.Result
+	Scan    *scan.Result
+	Place   *place.Placement
+	ATPG    *atpg.Result
+	Faults  *fault.Set
+	CTS     *cts.Result
+	Route   *route.Result
+	Par     *extract.Parasitics
+	STA     *sta.Result
+
+	Metrics Metrics
+}
+
+// Metrics is one row across the paper's three tables.
+type Metrics struct {
+	Circuit string
+
+	// Table 1: test data.
+	NumTP    int
+	NumFF    int
+	Chains   int
+	LMax     int
+	Faults   int
+	FC, FE   float64 // percent
+	Patterns int
+	TDV      int64 // bits
+	TAT      int64 // cycles
+
+	// Table 2: silicon area.
+	Cells       int
+	Rows        int
+	LRows       float64 // µm, total row length
+	CoreArea    float64 // µm²
+	FillerPct   float64 // % of core area in filler cells
+	ChipArea    float64 // µm²
+	LWires      float64 // µm
+	AspectRatio float64
+
+	// Table 3: timing, one entry per clock domain.
+	Timing []DomainTiming
+	// SlowNodes flags inaccurate (extrapolated) delays, as Pearl reports.
+	SlowNodes int
+}
+
+// DomainTiming is one Table 3 row.
+type DomainTiming struct {
+	Domain   string
+	TPOnPath int
+	TcpPS    float64
+	FmaxMHz  float64
+	TWires   float64
+	TIntr    float64
+	TLoadDep float64
+	TSetup   float64
+	TSkew    float64
+}
+
+// Run executes the six flow steps on a fresh clone of design.
+func Run(design *netlist.Netlist, cfg Config) (*Result, error) {
+	n := design.Clone()
+	res := &Result{Netlist: n}
+	res.Metrics.Circuit = n.Name
+
+	// Step 1: TPI and scan insertion.
+	ffBefore := n.NumFlipFlops()
+	tpCount := int(math.Round(cfg.TPPercent / 100 * float64(ffBefore)))
+	tps, err := tpi.Insert(n, tpi.Options{Count: tpCount, Exclude: cfg.ExcludeNets})
+	if err != nil {
+		return nil, fmt.Errorf("flow: TPI: %w", err)
+	}
+	res.TPs = tps
+	sc, err := scan.Insert(n, tps, cfg.Scan)
+	if err != nil {
+		return nil, fmt.Errorf("flow: scan: %w", err)
+	}
+	res.Scan = sc
+
+	// Step 2: floorplanning and placement.
+	pl, err := place.Place(n, cfg.Place)
+	if err != nil {
+		return nil, fmt.Errorf("flow: place: %w", err)
+	}
+	res.Place = pl
+
+	// Step 3: layout-driven scan chain reordering, then ATPG on the
+	// updated netlist.
+	scan.Reorder(n, sc, pl.Pos)
+	if !cfg.SkipATPG {
+		set := fault.NewUniverse(n)
+		aopt := cfg.ATPG
+		if aopt.Constraints == nil {
+			aopt.Constraints = map[netlist.NetID]int8{}
+		}
+		for k, v := range sc.CaptureConstraints() {
+			aopt.Constraints[k] = v
+		}
+		for k, v := range tps.CaptureConstraints() {
+			aopt.Constraints[k] = v
+		}
+		ar, err := atpg.Run(n, set, aopt)
+		if err != nil {
+			return nil, fmt.Errorf("flow: atpg: %w", err)
+		}
+		// Remaining undetected faults on the DfT infrastructure are
+		// covered by the scan shift and flush tests.
+		set.CreditScan(func(f fault.Fault) bool { return onDfT(n, f) })
+		res.ATPG = ar
+		res.Faults = set
+	}
+
+	// Steps 4–6 (and re-runs of step 2) live in physical(), so that
+	// timing-optimization design iterations can redo the whole layout.
+	physical := func() (float64, error) {
+		ct, err := cts.Insert(n, res.Place, cfg.CTS)
+		if err != nil {
+			return 0, fmt.Errorf("flow: cts: %w", err)
+		}
+		res.CTS = ct
+		if err := res.Place.ECO(); err != nil {
+			return 0, fmt.Errorf("flow: eco: %w", err)
+		}
+		fillerArea := res.Place.InsertFillers()
+		res.Route = route.Route(res.Place, cfg.Route)
+
+		// Step 5: extraction.
+		res.Par = extract.Extract(n, res.Route)
+
+		// Step 6: STA in application mode under the DfT constants.
+		sopt := cfg.STA
+		if sopt.Constraints == nil {
+			sopt.Constraints = map[netlist.NetID]int8{}
+		}
+		sopt.Constraints[sc.SE] = 0
+		for k, v := range tps.ApplicationConstraints() {
+			sopt.Constraints[k] = v
+		}
+		st, err := sta.Analyze(n, res.Par, sopt)
+		if err != nil {
+			return 0, fmt.Errorf("flow: sta: %w", err)
+		}
+		res.STA = st
+		return fillerArea, nil
+	}
+
+	fillerArea, err := physical()
+	if err != nil {
+		return nil, err
+	}
+
+	// Optional Section 5 design iterations: upsize critical cells, tear
+	// the physical-only artifacts down, and rebuild the layout.
+	for round := 0; round < cfg.TimingOptRounds; round++ {
+		if upsizeCriticalCells(n, res.STA) == 0 {
+			break
+		}
+		cts.Remove(n, res.CTS)
+		res.Place.RemoveFillers()
+		pl, err := place.Place(n, cfg.Place)
+		if err != nil {
+			return nil, fmt.Errorf("flow: re-place (round %d): %w", round+1, err)
+		}
+		res.Place = pl
+		scan.Reorder(n, sc, pl.Pos)
+		if fillerArea, err = physical(); err != nil {
+			return nil, err
+		}
+	}
+
+	res.fillMetrics(tpCount, fillerArea)
+	return res, nil
+}
+
+// upsizeCriticalCells swaps every combinational cell on a critical path
+// to the strongest drive variant of its kind, returning how many changed.
+func upsizeCriticalCells(n *netlist.Netlist, st *sta.Result) int {
+	changed := 0
+	for _, rep := range st.PerDomain {
+		for _, ci := range rep.PathCells {
+			c := &n.Cells[ci]
+			k := c.Cell.Kind
+			if k.IsSequential() || k.IsPhysicalOnly() {
+				continue
+			}
+			stronger := n.Lib.Strongest(k, len(c.Ins))
+			if stronger == nil || stronger == c.Cell || stronger.Drive >= c.Cell.Drive {
+				continue
+			}
+			if err := n.SwapCell(ci, stronger.Name, nil); err == nil {
+				changed++
+			}
+		}
+	}
+	return changed
+}
+
+// onDfT reports whether a fault sits on test infrastructure (TSFF muxes,
+// scan flops, scan-enable buffers or their nets).
+func onDfT(n *netlist.Netlist, f fault.Fault) bool {
+	isDfT := func(id netlist.CellID) bool {
+		if id == netlist.NoCell {
+			return false
+		}
+		switch n.Cells[id].Tag {
+		case netlist.TagTestMux, netlist.TagScanFF, netlist.TagSEBuffer:
+			return true
+		}
+		return false
+	}
+	if isDfT(n.Nets[f.Net].Driver) {
+		return true
+	}
+	if f.Load != fault.StemLoad {
+		ld := n.Fanouts()[f.Net][f.Load]
+		return isDfT(ld.Cell)
+	}
+	return false
+}
+
+// fillMetrics assembles the Tables 1–3 row from the run artifacts.
+func (r *Result) fillMetrics(tpCount int, fillerArea float64) {
+	n := r.Netlist
+	m := &r.Metrics
+	m.NumTP = tpCount
+	m.NumFF = n.NumFlipFlops()
+	m.Chains = r.Scan.NumChains()
+	m.LMax = r.Scan.MaxLength()
+	if r.Faults != nil {
+		m.Faults = r.Faults.Total()
+		fc, fe := r.Faults.Coverage()
+		m.FC = fc * 100
+		m.FE = fe * 100
+		m.Patterns = len(r.ATPG.Patterns)
+		m.TDV = testdata.TDV(m.Chains, m.LMax, m.Patterns)
+		m.TAT = testdata.TAT(m.LMax, m.Patterns)
+	}
+
+	// The paper's #cells excludes filler cells (their area is its own
+	// column).
+	m.Cells = 0
+	for ci := range n.Cells {
+		if !n.Cells[ci].Dead && n.Cells[ci].Tag != netlist.TagFiller {
+			m.Cells++
+		}
+	}
+	m.Rows = r.Place.NumRows
+	m.LRows = float64(r.Place.NumRows) * r.Place.RowLen
+	m.CoreArea = r.Place.CoreArea()
+	m.FillerPct = 100 * fillerArea / m.CoreArea
+	m.ChipArea = r.Place.ChipArea()
+	m.LWires = r.Route.Total
+	m.AspectRatio = r.Place.AspectRatio()
+
+	tpMux := make(map[netlist.CellID]bool)
+	if r.TPs != nil {
+		for _, tp := range r.TPs.Points {
+			tpMux[tp.InMux] = true
+			tpMux[tp.OutMux] = true
+			tpMux[tp.FF] = true
+		}
+	}
+	for dom, rep := range r.STA.PerDomain {
+		dt := DomainTiming{
+			Domain:   n.Domains[dom].Name,
+			TcpPS:    rep.Tcp,
+			FmaxMHz:  rep.FmaxMHz,
+			TWires:   rep.TWires,
+			TIntr:    rep.TIntrinsic,
+			TLoadDep: rep.TLoadDep,
+			TSetup:   rep.TSetup,
+			TSkew:    rep.TSkew,
+		}
+		// Count distinct test points with a cell on the critical path.
+		seen := map[string]bool{}
+		for _, ci := range rep.PathCells {
+			if tpMux[ci] {
+				seen[tpBase(n.Cells[ci].Name)] = true
+			}
+		}
+		dt.TPOnPath = len(seen)
+		m.Timing = append(m.Timing, dt)
+	}
+	m.SlowNodes = r.STA.SlowNodes
+}
+
+// tpBase strips the _im/_ff/_om suffix of a TSFF component name.
+func tpBase(name string) string {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '_' {
+			return name[:i]
+		}
+	}
+	return name
+}

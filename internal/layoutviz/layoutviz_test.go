@@ -1,0 +1,62 @@
+package layoutviz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tpilayout/internal/circuitgen"
+	"tpilayout/internal/place"
+	"tpilayout/internal/route"
+	"tpilayout/internal/stdcell"
+)
+
+func layout(t testing.TB) (*place.Placement, *route.Result) {
+	t.Helper()
+	lib := stdcell.Default()
+	n, err := circuitgen.Generate(circuitgen.S38417Class().Scale(0.02), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := place.Place(n, place.Options{TargetUtilization: 0.90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, route.Route(p, route.Options{})
+}
+
+// TestRenderStages reproduces Figure 3: three views with strictly
+// increasing content.
+func TestRenderStages(t *testing.T) {
+	p, r := layout(t)
+	fp := SVG(p, nil, StageFloorplan, Options{})
+	pl := SVG(p, nil, StagePlacement, Options{})
+	rt := SVG(p, r, StageRouted, Options{})
+	for name, doc := range map[string][]byte{"floorplan": fp, "placement": pl, "routed": rt} {
+		if !bytes.HasPrefix(doc, []byte("<svg")) || !bytes.Contains(doc, []byte("</svg>")) {
+			t.Errorf("%s: not a complete SVG document", name)
+		}
+	}
+	if len(pl) <= len(fp) {
+		t.Error("placement view not larger than floorplan view")
+	}
+	if len(rt) <= len(pl) {
+		t.Error("routed view not larger than placement view")
+	}
+	// The floorplan must show the rows and the three rings.
+	if got := strings.Count(string(fp), "<rect"); got < p.NumRows+3 {
+		t.Errorf("floorplan has %d rects, want at least rows+rings = %d", got, p.NumRows+3)
+	}
+	if !strings.Contains(string(rt), "<path") {
+		t.Error("routed view has no wires")
+	}
+}
+
+func TestMaxNetsCap(t *testing.T) {
+	p, r := layout(t)
+	small := SVG(p, r, StageRouted, Options{MaxNets: 10})
+	big := SVG(p, r, StageRouted, Options{MaxNets: 100000})
+	if len(small) >= len(big) {
+		t.Error("MaxNets cap had no effect")
+	}
+}

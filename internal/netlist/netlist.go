@@ -1,0 +1,273 @@
+// Package netlist provides the mapped gate-level netlist representation
+// shared by every stage of the flow: DfT insertion edits it, placement and
+// routing consume it, and ATPG/STA analyze it.
+//
+// A Netlist is a flat (non-hierarchical) network of standard-cell
+// instances, primary inputs/outputs, and nets. Cells and nets are addressed
+// by dense integer IDs so that analysis passes can use slices rather than
+// maps and remain deterministic.
+package netlist
+
+import (
+	"fmt"
+
+	"tpilayout/internal/stdcell"
+)
+
+// CellID and NetID are dense indices into Netlist.Cells and Netlist.Nets.
+type (
+	CellID int32
+	NetID  int32
+)
+
+// NoCell and NoNet are sentinel "absent" IDs.
+const (
+	NoCell CellID = -1
+	NoNet  NetID  = -1
+)
+
+// Tag classifies an instance by its role in the design. Functional logic
+// carries TagNone; DfT and physical-design passes tag the cells they add
+// so that later stages (fault accounting, area reports, ECO) can tell
+// them apart.
+type Tag uint8
+
+// Instance tags.
+const (
+	TagNone     Tag = iota
+	TagTestMux      // multiplexer belonging to a TSFF test point
+	TagScanFF       // flip-flop converted to / inserted as a scan element
+	TagSEBuffer     // scan-enable distribution buffer
+	TagClockBuf     // clock-tree buffer
+	TagFiller       // row filler cell
+	TagTimingBuf
+)
+
+// Instance is one placed-standard-cell instance.
+type Instance struct {
+	Name string
+	Cell *stdcell.Cell
+	Ins  []NetID // aligned with Cell.Inputs
+	Out  NetID   // NoNet for physical-only cells
+	Tag  Tag
+
+	// Domain is the clock-domain index for sequential cells, -1 otherwise.
+	Domain int
+
+	// Dead marks an instance removed by an edit. Dead instances keep
+	// their ID (so external tables stay aligned) but are skipped by all
+	// iterations. Compact() squeezes them out.
+	Dead bool
+}
+
+// Net is a single electrical node.
+type Net struct {
+	Name string
+	// Driver is the driving cell, or NoCell when the net is driven by a
+	// primary input (or is constant).
+	Driver CellID
+	// PI is the index into Netlist.PIs when Driver == NoCell and the net
+	// is a primary input, else -1.
+	PI int
+	// Const is 0 or 1 for constant nets (tie cells abstracted away), else -1.
+	Const int8
+	Dead  bool
+}
+
+// Port is a primary input or output of the design.
+type Port struct {
+	Name string
+	Net  NetID
+	// Clock marks a clock input; Domain is its clock-domain index.
+	Clock  bool
+	Domain int
+}
+
+// Domain describes one clock domain.
+type Domain struct {
+	Name     string
+	PeriodPS float64 // target clock period used for reporting only
+	ClockPI  int     // index into PIs of the domain's clock input
+}
+
+// Netlist is the complete design.
+type Netlist struct {
+	Name    string
+	Lib     *stdcell.Library
+	Cells   []Instance
+	Nets    []Net
+	PIs     []Port
+	POs     []Port
+	Domains []Domain
+
+	fanouts   [][]Load // lazily built; nil when dirty
+	levelsGen int      // bumped on every structural edit
+}
+
+// Load is one sink of a net: either pin Pin of cell Cell, or primary
+// output PO (index into POs) when Cell == NoCell.
+type Load struct {
+	Cell CellID
+	Pin  int // input pin index within the cell
+	PO   int // index into POs, valid when Cell == NoCell
+}
+
+// New returns an empty netlist bound to a library.
+func New(name string, lib *stdcell.Library) *Netlist {
+	return &Netlist{Name: name, Lib: lib}
+}
+
+// AddNet creates a net with no driver and returns its ID.
+func (n *Netlist) AddNet(name string) NetID {
+	n.dirty()
+	n.Nets = append(n.Nets, Net{Name: name, Driver: NoCell, PI: -1, Const: -1})
+	return NetID(len(n.Nets) - 1)
+}
+
+// AddConst creates (or returns an existing) constant-0 or constant-1 net.
+func (n *Netlist) AddConst(v int) NetID {
+	for id := range n.Nets {
+		if !n.Nets[id].Dead && n.Nets[id].Const == int8(v) {
+			return NetID(id)
+		}
+	}
+	id := n.AddNet(fmt.Sprintf("const%d", v))
+	n.Nets[id].Const = int8(v)
+	return id
+}
+
+// AddPI creates a primary input port and its net.
+func (n *Netlist) AddPI(name string) NetID {
+	n.dirty()
+	id := n.AddNet(name)
+	n.PIs = append(n.PIs, Port{Name: name, Net: id, Domain: -1})
+	n.Nets[id].PI = len(n.PIs) - 1
+	return id
+}
+
+// AddClockPI creates a clock input and registers a clock domain for it.
+// period is the domain's target clock period in ps (reporting only).
+func (n *Netlist) AddClockPI(name string, period float64) (NetID, int) {
+	id := n.AddPI(name)
+	pi := len(n.PIs) - 1
+	n.PIs[pi].Clock = true
+	n.Domains = append(n.Domains, Domain{Name: name, PeriodPS: period, ClockPI: pi})
+	dom := len(n.Domains) - 1
+	n.PIs[pi].Domain = dom
+	return id, dom
+}
+
+// AddPO marks a net as a primary output.
+func (n *Netlist) AddPO(name string, net NetID) {
+	n.dirty()
+	n.POs = append(n.POs, Port{Name: name, Net: net, Domain: -1})
+}
+
+// AddCell instantiates a library cell. ins must match len(cell.Inputs);
+// out is the net driven by the cell (pass NoNet only for physical-only
+// cells). It returns the new instance's ID.
+func (n *Netlist) AddCell(name string, cell *stdcell.Cell, ins []NetID, out NetID) CellID {
+	if len(ins) != len(cell.Inputs) {
+		panic(fmt.Sprintf("netlist: cell %s (%s) given %d inputs, wants %d",
+			name, cell.Name, len(ins), len(cell.Inputs)))
+	}
+	n.dirty()
+	id := CellID(len(n.Cells))
+	n.Cells = append(n.Cells, Instance{
+		Name:   name,
+		Cell:   cell,
+		Ins:    append([]NetID(nil), ins...),
+		Out:    out,
+		Domain: -1,
+	})
+	if out != NoNet {
+		if d := n.Nets[out].Driver; d != NoCell || n.Nets[out].PI >= 0 {
+			panic(fmt.Sprintf("netlist: net %s already driven", n.Nets[out].Name))
+		}
+		n.Nets[out].Driver = id
+	}
+	return id
+}
+
+// Cell returns the instance for id.
+func (n *Netlist) Cell(id CellID) *Instance { return &n.Cells[id] }
+
+// Net returns the net for id.
+func (n *Netlist) Net(id NetID) *Net { return &n.Nets[id] }
+
+// dirty invalidates derived indices after a structural edit.
+func (n *Netlist) dirty() {
+	n.fanouts = nil
+	n.levelsGen++
+}
+
+// Fanouts returns the sink list of every net. The index is rebuilt lazily
+// after structural edits; the returned slices must not be modified.
+func (n *Netlist) Fanouts() [][]Load {
+	if n.fanouts != nil {
+		return n.fanouts
+	}
+	f := make([][]Load, len(n.Nets))
+	for ci := range n.Cells {
+		c := &n.Cells[ci]
+		if c.Dead {
+			continue
+		}
+		for pin, net := range c.Ins {
+			if net != NoNet {
+				f[net] = append(f[net], Load{Cell: CellID(ci), Pin: pin, PO: -1})
+			}
+		}
+	}
+	for pi := range n.POs {
+		if net := n.POs[pi].Net; net != NoNet {
+			f[net] = append(f[net], Load{Cell: NoCell, Pin: -1, PO: pi})
+		}
+	}
+	n.fanouts = f
+	return f
+}
+
+// NumLiveCells counts non-dead instances.
+func (n *Netlist) NumLiveCells() int {
+	c := 0
+	for i := range n.Cells {
+		if !n.Cells[i].Dead {
+			c++
+		}
+	}
+	return c
+}
+
+// NumFlipFlops counts live sequential instances.
+func (n *Netlist) NumFlipFlops() int {
+	c := 0
+	for i := range n.Cells {
+		if !n.Cells[i].Dead && n.Cells[i].Cell.Kind.IsSequential() {
+			c++
+		}
+	}
+	return c
+}
+
+// FlipFlops returns the IDs of all live sequential instances in ID order.
+func (n *Netlist) FlipFlops() []CellID {
+	var ffs []CellID
+	for i := range n.Cells {
+		if !n.Cells[i].Dead && n.Cells[i].Cell.Kind.IsSequential() {
+			ffs = append(ffs, CellID(i))
+		}
+	}
+	return ffs
+}
+
+// TotalCellArea sums the area of all live instances in µm².
+func (n *Netlist) TotalCellArea() float64 {
+	a := 0.0
+	for i := range n.Cells {
+		if !n.Cells[i].Dead {
+			a += n.Cells[i].Cell.Area()
+		}
+	}
+	return a
+}

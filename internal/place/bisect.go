@@ -1,0 +1,301 @@
+package place
+
+import (
+	"tpilayout/internal/netlist"
+)
+
+// region is a rectangular slice of the core: rows [r0,r1) and the x span
+// [x0,x1) within them.
+type region struct {
+	r0, r1 int
+	x0, x1 float64
+}
+
+// bisector performs recursive min-cut bisection with an FM-style
+// refinement pass. Nets above maxNetSize pins (clocks, scan-enable) are
+// ignored for cut purposes, as in production placers.
+type bisector struct {
+	n      *netlist.Netlist
+	passes int
+
+	// cellNets[c] lists the (small) nets incident to cell c.
+	cellNets [][]int32
+	rowH     float64
+}
+
+const (
+	maxNetSize = 48
+	maxGain    = 32
+	leafCells  = 3 // stop splitting below this population
+)
+
+func newBisector(n *netlist.Netlist, passes int) *bisector {
+	b := &bisector{n: n, passes: passes, rowH: n.Lib.RowHeight}
+	fan := n.Fanouts()
+	// Count pins per net to exclude global nets.
+	pinCount := make([]int32, len(n.Nets))
+	for id := range n.Nets {
+		c := int32(len(fan[id]))
+		if n.Nets[id].Driver != netlist.NoCell {
+			c++
+		}
+		pinCount[id] = c
+	}
+	b.cellNets = make([][]int32, len(n.Cells))
+	add := func(ci netlist.CellID, net netlist.NetID) {
+		if net == netlist.NoNet || n.Nets[net].Const >= 0 || pinCount[net] > maxNetSize || pinCount[net] < 2 {
+			return
+		}
+		l := b.cellNets[ci]
+		for _, x := range l {
+			if x == int32(net) {
+				return
+			}
+		}
+		b.cellNets[ci] = append(l, int32(net))
+	}
+	for ci := range n.Cells {
+		c := &n.Cells[ci]
+		if c.Dead {
+			continue
+		}
+		for _, in := range c.Ins {
+			add(netlist.CellID(ci), in)
+		}
+		add(netlist.CellID(ci), c.Out)
+	}
+	return b
+}
+
+// run recursively splits cells over reg, calling emit for each cell with
+// its final leaf region.
+func (b *bisector) run(cells []netlist.CellID, reg region, emit func(netlist.CellID, region)) {
+	rows := reg.r1 - reg.r0
+	wide := reg.x1 - reg.x0
+	if len(cells) <= leafCells || (rows <= 1 && wide <= 16*b.n.Lib.SiteWidth) {
+		for _, c := range cells {
+			emit(c, reg)
+		}
+		return
+	}
+	var regA, regB region
+	var fracA float64
+	if float64(rows)*b.rowH >= wide && rows > 1 {
+		mid := reg.r0 + rows/2
+		regA = region{r0: reg.r0, r1: mid, x0: reg.x0, x1: reg.x1}
+		regB = region{r0: mid, r1: reg.r1, x0: reg.x0, x1: reg.x1}
+		fracA = float64(mid-reg.r0) / float64(rows)
+	} else {
+		mid := reg.x0 + wide/2
+		regA = region{r0: reg.r0, r1: reg.r1, x0: reg.x0, x1: mid}
+		regB = region{r0: reg.r0, r1: reg.r1, x0: mid, x1: reg.x1}
+		fracA = 0.5
+	}
+	sideOf := b.partition(cells, fracA)
+	var left, right []netlist.CellID
+	for i, c := range cells {
+		if sideOf[i] == 0 {
+			left = append(left, c)
+		} else {
+			right = append(right, c)
+		}
+	}
+	b.run(left, regA, emit)
+	b.run(right, regB, emit)
+}
+
+// partition splits cells into side 0 (area fraction fracA) and side 1,
+// minimizing the number of cut nets with FM passes.
+func (b *bisector) partition(cells []netlist.CellID, fracA float64) []uint8 {
+	n := len(cells)
+	side := make([]uint8, n)
+	totalArea := 0.0
+	for _, c := range cells {
+		totalArea += b.n.Cells[c].Cell.Width
+	}
+	targetA := totalArea * fracA
+	// Initial split: prefix by area (inherits the caller's ordering,
+	// which preserves locality from the parent cut).
+	areaA := 0.0
+	for i, c := range cells {
+		if areaA < targetA {
+			side[i] = 0
+			areaA += b.n.Cells[c].Cell.Width
+		} else {
+			side[i] = 1
+		}
+	}
+
+	// Local net incidence: net -> member local cell indices, in
+	// deterministic first-seen order (map iteration order must not leak
+	// into the partition result).
+	netIdx := make(map[int32]int32)
+	var netMembers [][]int32
+	for i, c := range cells {
+		for _, net := range b.cellNets[c] {
+			ni, ok := netIdx[net]
+			if !ok {
+				ni = int32(len(netMembers))
+				netIdx[net] = ni
+				netMembers = append(netMembers, nil)
+			}
+			netMembers[ni] = append(netMembers[ni], int32(i))
+		}
+	}
+	// Drop nets with a single member in this region.
+	nets := make([][]int32, 0, len(netMembers))
+	for _, members := range netMembers {
+		if len(members) >= 2 {
+			nets = append(nets, members)
+		}
+	}
+	cellLocalNets := make([][]int32, n)
+	for ni, members := range nets {
+		for _, m := range members {
+			cellLocalNets[m] = append(cellLocalNets[m], int32(ni))
+		}
+	}
+
+	tol := totalArea*0.02 + 12*b.n.Lib.SiteWidth
+	for pass := 0; pass < b.passes; pass++ {
+		if !b.fmPass(cells, side, nets, cellLocalNets, &areaA, targetA, tol) {
+			break
+		}
+	}
+	return side
+}
+
+// fmPass runs one full Fiduccia–Mattheyses pass: every cell is moved once
+// in best-gain order under the balance constraint, then the pass is rolled
+// back to its best prefix. Returns true if the pass improved the cut.
+func (b *bisector) fmPass(cells []netlist.CellID, side []uint8, nets [][]int32,
+	cellLocalNets [][]int32, areaA *float64, targetA, tol float64) bool {
+
+	n := len(cells)
+	cnt := make([][2]int32, len(nets))
+	for ni, members := range nets {
+		for _, m := range members {
+			cnt[ni][side[m]]++
+		}
+	}
+	gain := make([]int32, n)
+	computeGain := func(i int) int32 {
+		g := int32(0)
+		s := side[i]
+		for _, ni := range cellLocalNets[i] {
+			if cnt[ni][s] == 1 {
+				g++
+			}
+			if cnt[ni][1-s] == 0 {
+				g--
+			}
+		}
+		return g
+	}
+	// Gain buckets with lazy deletion: a popped entry is valid only if it
+	// matches the cell's current gain and the cell is unlocked.
+	buckets := make([][]int32, 2*maxGain+1)
+	clamp := func(g int32) int32 {
+		if g > maxGain {
+			return maxGain
+		}
+		if g < -maxGain {
+			return -maxGain
+		}
+		return g
+	}
+	push := func(i int) {
+		g := clamp(gain[i])
+		buckets[g+maxGain] = append(buckets[g+maxGain], int32(i))
+	}
+	locked := make([]bool, n)
+	for i := 0; i < n; i++ {
+		gain[i] = computeGain(i)
+		push(i)
+	}
+
+	type move struct {
+		cell  int32
+		delta int32 // cut change (negative = improvement)
+	}
+	var moves []move
+	cumDelta, bestDelta, bestK := int32(0), int32(0), 0
+	curAreaA := *areaA
+
+	popBest := func() int32 {
+		for gi := len(buckets) - 1; gi >= 0; gi-- {
+			bl := buckets[gi]
+			for len(bl) > 0 {
+				i := bl[len(bl)-1]
+				bl = bl[:len(bl)-1]
+				if locked[i] || clamp(gain[i])+maxGain != int32(gi) {
+					continue // stale entry
+				}
+				// Balance check.
+				w := b.n.Cells[cells[i]].Cell.Width
+				na := curAreaA
+				if side[i] == 0 {
+					na -= w
+				} else {
+					na += w
+				}
+				if na < targetA-tol || na > targetA+tol {
+					continue // would unbalance; try next (leave popped)
+				}
+				buckets[gi] = bl
+				return i
+			}
+			buckets[gi] = bl
+		}
+		return -1
+	}
+
+	for moved := 0; moved < n; moved++ {
+		i := popBest()
+		if i < 0 {
+			break
+		}
+		locked[i] = true
+		s := side[i]
+		w := b.n.Cells[cells[i]].Cell.Width
+		if s == 0 {
+			curAreaA -= w
+		} else {
+			curAreaA += w
+		}
+		cumDelta -= gain[i]
+		moves = append(moves, move{cell: i, delta: gain[i]})
+		// Apply move: update counts and neighbour gains.
+		for _, ni := range cellLocalNets[i] {
+			cnt[ni][s]--
+			cnt[ni][1-s]++
+		}
+		side[i] = 1 - s
+		for _, ni := range cellLocalNets[i] {
+			for _, m := range nets[ni] {
+				if !locked[m] {
+					gain[m] = computeGain(int(m))
+					push(int(m))
+				}
+			}
+		}
+		if cumDelta < bestDelta {
+			bestDelta = cumDelta
+			bestK = len(moves)
+		}
+	}
+	// Roll back to the best prefix.
+	for k := len(moves) - 1; k >= bestK; k-- {
+		i := moves[k].cell
+		s := side[i]
+		w := b.n.Cells[cells[i]].Cell.Width
+		if s == 0 {
+			curAreaA -= w
+		} else {
+			curAreaA += w
+		}
+		side[i] = 1 - s
+	}
+	*areaA = curAreaA
+	return bestDelta < 0
+}

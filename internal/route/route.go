@@ -1,0 +1,245 @@
+// Package route is a congestion-aware global router over the placed
+// design. Each net is decomposed into two-pin edges with a rectilinear
+// minimum spanning tree; each edge is routed as an L-shape through a
+// grid of routing cells, choosing the bend with less congestion and
+// detouring (adding wire length) when a cell overflows. The total wire
+// length it reports is the paper's L_wires column.
+package route
+
+import (
+	"math"
+	"sort"
+
+	"tpilayout/internal/netlist"
+	"tpilayout/internal/place"
+)
+
+// Options configures the router.
+type Options struct {
+	// GCellSize is the routing grid pitch in µm (default 20).
+	GCellSize float64
+	// Capacity is the wire length (µm) a routing cell absorbs before it
+	// counts as congested (default 16 tracks × pitch).
+	Capacity float64
+}
+
+// Result holds the routed wire lengths.
+type Result struct {
+	// NetLen is the routed length in µm per net (0 for dead/constant or
+	// single-pin nets).
+	NetLen []float64
+	// Total is the summed wire length (the paper's L_wires).
+	Total float64
+	// Overflow counts routing-cell overflow events (a congestion
+	// indicator; the paper notes too-high utilization "would lead to
+	// routing congestions").
+	Overflow int
+}
+
+type point struct{ x, y float64 }
+
+// Route globally routes every live multi-pin net of the placement.
+func Route(p *place.Placement, opt Options) *Result {
+	if opt.GCellSize <= 0 {
+		opt.GCellSize = 20
+	}
+	if opt.Capacity <= 0 {
+		opt.Capacity = 16 * opt.GCellSize
+	}
+	n := p.N
+	res := &Result{NetLen: make([]float64, len(n.Nets))}
+	g := newGrid(p, opt)
+	fan := n.Fanouts()
+
+	// Deterministic net order: longer (higher-fanout) nets first, so the
+	// big trunks claim uncongested space, then short nets fill in.
+	type job struct {
+		id   netlist.NetID
+		pins []point
+	}
+	var jobs []job
+	for id := range n.Nets {
+		nn := &n.Nets[id]
+		if nn.Dead || nn.Const >= 0 {
+			continue
+		}
+		var pins []point
+		if nn.Driver != netlist.NoCell && p.Placed(nn.Driver) {
+			x, y := p.Pos(nn.Driver)
+			pins = append(pins, point{x, y})
+		}
+		for _, ld := range fan[id] {
+			if ld.Cell != netlist.NoCell && p.Placed(ld.Cell) {
+				x, y := p.Pos(ld.Cell)
+				pins = append(pins, point{x, y})
+			}
+			// Primary ports sit on the core edge nearest the pin bbox;
+			// approximated at the left core edge at the driver's y.
+			if ld.Cell == netlist.NoCell && len(pins) > 0 {
+				pins = append(pins, point{0, pins[0].y})
+			}
+		}
+		if len(pins) >= 2 {
+			jobs = append(jobs, job{id: netlist.NetID(id), pins: pins})
+		}
+	}
+	sort.SliceStable(jobs, func(i, j int) bool { return len(jobs[i].pins) > len(jobs[j].pins) })
+
+	for _, jb := range jobs {
+		length := g.routeNet(jb.pins)
+		res.NetLen[jb.id] = length
+		res.Total += length
+	}
+	res.Overflow = g.overflow
+	return res
+}
+
+// grid tracks per-cell routing usage.
+type grid struct {
+	opt      Options
+	nx, ny   int
+	use      []float64
+	overflow int
+}
+
+func newGrid(p *place.Placement, opt Options) *grid {
+	nx := int(math.Ceil(p.CoreW()/opt.GCellSize)) + 1
+	ny := int(math.Ceil(p.CoreH()/opt.GCellSize)) + 1
+	return &grid{opt: opt, nx: nx, ny: ny, use: make([]float64, nx*ny)}
+}
+
+func (g *grid) cellAt(x, y float64) int {
+	i := int(x / g.opt.GCellSize)
+	j := int(y / g.opt.GCellSize)
+	if i < 0 {
+		i = 0
+	}
+	if j < 0 {
+		j = 0
+	}
+	if i >= g.nx {
+		i = g.nx - 1
+	}
+	if j >= g.ny {
+		j = g.ny - 1
+	}
+	return j*g.nx + i
+}
+
+// routeNet builds a rectilinear MST over the pins and routes each edge,
+// returning the total routed length.
+func (g *grid) routeNet(pins []point) float64 {
+	if len(pins) > 64 {
+		// Trunk order for huge nets (scan-enable class): chain pins in
+		// snake order instead of O(k²) MST.
+		sort.Slice(pins, func(i, j int) bool {
+			if pins[i].y != pins[j].y {
+				return pins[i].y < pins[j].y
+			}
+			return pins[i].x < pins[j].x
+		})
+		total := 0.0
+		for i := 1; i < len(pins); i++ {
+			total += g.routeEdge(pins[i-1], pins[i])
+		}
+		return total
+	}
+	// Prim MST on Manhattan distance.
+	inTree := make([]bool, len(pins))
+	dist := make([]float64, len(pins))
+	from := make([]int, len(pins))
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	inTree[0] = true
+	for i := 1; i < len(pins); i++ {
+		dist[i] = manhattan(pins[0], pins[i])
+		from[i] = 0
+	}
+	total := 0.0
+	for added := 1; added < len(pins); added++ {
+		best := -1
+		for i := range pins {
+			if !inTree[i] && (best < 0 || dist[i] < dist[best]) {
+				best = i
+			}
+		}
+		inTree[best] = true
+		total += g.routeEdge(pins[from[best]], pins[best])
+		for i := range pins {
+			if !inTree[i] {
+				if d := manhattan(pins[best], pins[i]); d < dist[i] {
+					dist[i] = d
+					from[i] = best
+				}
+			}
+		}
+	}
+	return total
+}
+
+func manhattan(a, b point) float64 {
+	return math.Abs(a.x-b.x) + math.Abs(a.y-b.y)
+}
+
+// routeEdge routes one two-pin connection as an L, picking the less
+// congested bend; if both bends are congested it takes a detour (a Z with
+// an extra jog), which lengthens the wire — the mechanism that makes
+// congested layouts wire-longer, as in the paper's discussion.
+func (g *grid) routeEdge(a, b point) float64 {
+	base := manhattan(a, b)
+	if base == 0 {
+		return 0
+	}
+	bend1 := point{b.x, a.y} // horizontal first
+	bend2 := point{a.x, b.y} // vertical first
+	c1 := g.pathCost(a, bend1) + g.pathCost(bend1, b)
+	c2 := g.pathCost(a, bend2) + g.pathCost(bend2, b)
+	detour := 0.0
+	var via point
+	if c1 <= c2 {
+		via = bend1
+	} else {
+		via = bend2
+	}
+	if math.Min(c1, c2) > 0 {
+		// Congested on both: jog around through the midpoint row.
+		g.overflow++
+		detour = 2 * g.opt.GCellSize
+	}
+	g.commit(a, via)
+	g.commit(via, b)
+	return base + detour
+}
+
+// pathCost counts congested cells along a straight segment.
+func (g *grid) pathCost(a, b point) float64 {
+	cost := 0.0
+	g.walk(a, b, func(cell int, seg float64) {
+		if g.use[cell]+seg > g.opt.Capacity {
+			cost += seg
+		}
+	})
+	return cost
+}
+
+func (g *grid) commit(a, b point) {
+	g.walk(a, b, func(cell int, seg float64) {
+		g.use[cell] += seg
+	})
+}
+
+// walk visits the routing cells along the straight segment a→b.
+func (g *grid) walk(a, b point, f func(cell int, seg float64)) {
+	length := manhattan(a, b)
+	if length == 0 {
+		return
+	}
+	steps := int(length/g.opt.GCellSize) + 1
+	for s := 0; s <= steps; s++ {
+		t := float64(s) / float64(steps)
+		x := a.x + (b.x-a.x)*t
+		y := a.y + (b.y-a.y)*t
+		f(g.cellAt(x, y), length/float64(steps+1))
+	}
+}

@@ -1,0 +1,168 @@
+// Package stdcell models a CMOS standard-cell library in the style of the
+// 130 nm, six-metal-layer Philips library used in the paper. It provides
+// cell geometry (row-height cells with per-cell width), pin capacitances,
+// and non-linear delay-model (NLDM) timing tables indexed by input slew and
+// output load, including the out-of-range extrapolation that the paper's
+// STA tool (Pearl) reports as "slow nodes".
+//
+// All physical units are fixed across the library:
+//
+//	length      µm
+//	area        µm²
+//	capacitance fF
+//	resistance  kΩ
+//	time        ps
+package stdcell
+
+import "fmt"
+
+// Kind identifies the logic function of a cell. The simulator, testability
+// analysis, ATPG and STA all dispatch on Kind, so a library may carry many
+// drive-strength variants of the same Kind.
+type Kind int
+
+// Cell kinds. Combinational kinds come first, then sequential, then
+// non-logic physical cells.
+const (
+	KindInvalid Kind = iota
+	KindInv
+	KindBuf
+	KindNand
+	KindNor
+	KindAnd
+	KindOr
+	KindXor
+	KindXnor
+	KindAoi21 // y = !(a*b + c)
+	KindOai21 // y = !((a+b) * c)
+	KindMux2  // y = s ? b : a
+	KindDff   // D flip-flop: D, CLK -> Q
+	KindSdff  // scan D flip-flop: D, SI, SE, CLK -> Q (mux-D)
+	KindFill  // filler cell: no pins, pure area
+	KindAntenna
+)
+
+// String returns the lower-case mnemonic for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInv:
+		return "inv"
+	case KindBuf:
+		return "buf"
+	case KindNand:
+		return "nand"
+	case KindNor:
+		return "nor"
+	case KindAnd:
+		return "and"
+	case KindOr:
+		return "or"
+	case KindXor:
+		return "xor"
+	case KindXnor:
+		return "xnor"
+	case KindAoi21:
+		return "aoi21"
+	case KindOai21:
+		return "oai21"
+	case KindMux2:
+		return "mux2"
+	case KindDff:
+		return "dff"
+	case KindSdff:
+		return "sdff"
+	case KindFill:
+		return "fill"
+	case KindAntenna:
+		return "antenna"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// IsSequential reports whether the kind is a flip-flop.
+func (k Kind) IsSequential() bool { return k == KindDff || k == KindSdff }
+
+// IsPhysicalOnly reports whether the kind carries no logic (filler etc.).
+func (k Kind) IsPhysicalOnly() bool { return k == KindFill || k == KindAntenna }
+
+// Pin describes one cell pin.
+type Pin struct {
+	Name  string
+	Cap   float64 // input capacitance in fF (0 for outputs)
+	Clock bool    // true for the clock pin of a sequential cell
+}
+
+// Cell is one library cell (a specific drive strength of a Kind).
+type Cell struct {
+	Name   string // library cell name, e.g. "NAND2X1"
+	Kind   Kind
+	Inputs []Pin  // data inputs in functional order; see eval conventions below
+	Output string // output pin name ("" for physical-only cells)
+
+	// Geometry. All cells are one row high; Width is the placed footprint.
+	Width  float64 // µm
+	Height float64 // µm (equal to Library.RowHeight)
+
+	// Timing. Delay/OutSlew describe the input-to-output arc (for
+	// flip-flops: the CLK→Q arc). Setup/Hold apply to the D input of
+	// sequential cells, relative to CLK.
+	Delay   Table // arc delay in ps, indexed (input slew, output load)
+	OutSlew Table // output slew in ps, same indexing
+	Setup   float64
+	Hold    float64
+
+	// Drive is the equivalent output resistance in kΩ; kept for quick
+	// analytic estimates (fanout planning, clock-tree sizing). The NLDM
+	// tables are authoritative for STA.
+	Drive float64
+
+	// MaxLoad is the library's characterized load ceiling in fF. STA flags
+	// a "slow node" whenever table lookup must extrapolate beyond the
+	// table axes; MaxLoad doubles as the router/CTS buffering target.
+	MaxLoad float64
+}
+
+// Area returns the placed cell area in µm².
+func (c *Cell) Area() float64 { return c.Width * c.Height }
+
+// InputCap returns the capacitance of the named input pin, or 0 if the pin
+// does not exist.
+func (c *Cell) InputCap(pin string) float64 {
+	for _, p := range c.Inputs {
+		if p.Name == pin {
+			return p.Cap
+		}
+	}
+	return 0
+}
+
+// FindInput returns the index of the named input pin, or -1.
+func (c *Cell) FindInput(pin string) int {
+	for i, p := range c.Inputs {
+		if p.Name == pin {
+			return i
+		}
+	}
+	return -1
+}
+
+// ClockPin returns the name of the clock pin of a sequential cell, or "".
+func (c *Cell) ClockPin() string {
+	for _, p := range c.Inputs {
+		if p.Clock {
+			return p.Name
+		}
+	}
+	return ""
+}
+
+// Input pin-order conventions, relied on by the simulator and ATPG:
+//
+//	inv, buf:          a
+//	nand/nor/and/or:   a, b[, c[, d]]
+//	xor, xnor:         a, b
+//	aoi21:             a, b, c         y = !(a&b | c)
+//	oai21:             a, b, c         y = !((a|b) & c)
+//	mux2:              a, b, s         y = s ? b : a
+//	dff:               d, clk
+//	sdff:              d, si, se, clk  d' = se ? si : d

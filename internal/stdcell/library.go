@@ -1,0 +1,231 @@
+package stdcell
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Library is a coherent set of standard cells plus the process constants
+// (row geometry, wire RC) that the physical-design packages need.
+type Library struct {
+	Name      string
+	RowHeight float64 // µm; all cells are exactly one row high
+	SiteWidth float64 // µm; placement grid pitch along a row
+
+	// Wire parasitics for the routing layers actually used for signal
+	// nets (the default library models a 6-metal 130 nm stack but routes
+	// signals on an averaged M2/M3 layer).
+	WireResPerUM float64 // kΩ/µm
+	WireCapPerUM float64 // fF/µm
+
+	cells  map[string]*Cell
+	byKind map[Kind][]*Cell // each list sorted by ascending Drive strength (descending resistance)
+}
+
+// NewLibrary returns an empty library with the given process constants.
+func NewLibrary(name string, rowHeight, siteWidth, wireRes, wireCap float64) *Library {
+	return &Library{
+		Name:         name,
+		RowHeight:    rowHeight,
+		SiteWidth:    siteWidth,
+		WireResPerUM: wireRes,
+		WireCapPerUM: wireCap,
+		cells:        make(map[string]*Cell),
+		byKind:       make(map[Kind][]*Cell),
+	}
+}
+
+// Add registers a cell. It panics on duplicate names: the library is
+// assembled once at startup and a duplicate is a programming error.
+func (l *Library) Add(c *Cell) {
+	if _, dup := l.cells[c.Name]; dup {
+		panic(fmt.Sprintf("stdcell: duplicate cell %q", c.Name))
+	}
+	c.Height = l.RowHeight
+	l.cells[c.Name] = c
+	list := append(l.byKind[c.Kind], c)
+	// Drive is an output resistance, so the strongest cell has the
+	// smallest Drive; keep strongest-first order.
+	sort.Slice(list, func(i, j int) bool { return list[i].Drive < list[j].Drive })
+	l.byKind[c.Kind] = list
+}
+
+// Cell returns the named cell, or nil.
+func (l *Library) Cell(name string) *Cell { return l.cells[name] }
+
+// MustCell returns the named cell and panics if it does not exist.
+func (l *Library) MustCell(name string) *Cell {
+	c := l.cells[name]
+	if c == nil {
+		panic(fmt.Sprintf("stdcell: no cell %q in library %s", name, l.Name))
+	}
+	return c
+}
+
+// Weakest returns the minimum-drive cell of the kind (the paper maps
+// ISCAS'89 s38417 to "the corresponding standard cell with minimum drive
+// strength"). For multi-input kinds, ninputs selects the fan-in. It returns
+// nil if no such cell exists.
+func (l *Library) Weakest(k Kind, ninputs int) *Cell {
+	var best *Cell
+	for _, c := range l.byKind[k] {
+		if len(c.Inputs) != ninputs && !k.IsSequential() && !k.IsPhysicalOnly() {
+			continue
+		}
+		if best == nil || c.Drive > best.Drive {
+			best = c
+		}
+	}
+	return best
+}
+
+// Strongest returns the maximum-drive cell of the kind with the given
+// fan-in, or nil.
+func (l *Library) Strongest(k Kind, ninputs int) *Cell {
+	for _, c := range l.byKind[k] {
+		if len(c.Inputs) == ninputs || k.IsSequential() || k.IsPhysicalOnly() {
+			return c
+		}
+	}
+	return nil
+}
+
+// Kind returns all cells of a kind, strongest drive first.
+func (l *Library) Kind(k Kind) []*Cell { return l.byKind[k] }
+
+// Cells returns all cells in deterministic (name) order.
+func (l *Library) Cells() []*Cell {
+	names := make([]string, 0, len(l.cells))
+	for n := range l.cells {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Cell, len(names))
+	for i, n := range names {
+		out[i] = l.cells[n]
+	}
+	return out
+}
+
+// Fillers returns the filler cells sorted by descending width, the order a
+// placer consumes them when plugging row gaps.
+func (l *Library) Fillers() []*Cell {
+	fills := append([]*Cell(nil), l.byKind[KindFill]...)
+	sort.Slice(fills, func(i, j int) bool { return fills[i].Width > fills[j].Width })
+	return fills
+}
+
+// Default builds the library used by all experiments: a plausible 130 nm,
+// 6-metal standard-cell family. Absolute numbers are representative, not
+// foundry data; the paper itself only relies on relative comparisons
+// between layouts produced with the same library.
+func Default() *Library {
+	l := NewLibrary("pcmos130g", 3.70, 0.41, 0.00042, 0.195)
+
+	type spec struct {
+		name      string
+		kind      Kind
+		inputs    []Pin
+		width     float64 // in sites
+		intrinsic float64 // ps
+		drive     float64 // kΩ
+		slewSens  float64 // ps delay per ps of (compressed) input slew
+	}
+
+	in := func(names ...string) []Pin {
+		pins := make([]Pin, len(names))
+		for i, n := range names {
+			pins[i] = Pin{Name: n, Cap: 2.0}
+		}
+		return pins
+	}
+
+	specs := []spec{
+		// Inverters and buffers in four drive strengths.
+		{"INVX1", KindInv, in("a"), 3, 18, 2.4, 0.10},
+		{"INVX2", KindInv, in("a"), 4, 16, 1.2, 0.09},
+		{"INVX4", KindInv, in("a"), 6, 15, 0.6, 0.08},
+		{"INVX8", KindInv, in("a"), 10, 14, 0.3, 0.07},
+		{"BUFX1", KindBuf, in("a"), 4, 38, 2.2, 0.08},
+		{"BUFX2", KindBuf, in("a"), 5, 36, 1.1, 0.07},
+		{"BUFX4", KindBuf, in("a"), 7, 34, 0.55, 0.06},
+		{"BUFX8", KindBuf, in("a"), 11, 33, 0.28, 0.05},
+		// NAND / NOR, 2-4 inputs, two strengths for the 2-input forms.
+		{"NAND2X1", KindNand, in("a", "b"), 4, 24, 2.6, 0.11},
+		{"NAND2X2", KindNand, in("a", "b"), 6, 22, 1.3, 0.10},
+		{"NAND3X1", KindNand, in("a", "b", "c"), 5, 30, 2.9, 0.12},
+		{"NAND4X1", KindNand, in("a", "b", "c", "d"), 6, 36, 3.2, 0.13},
+		{"NOR2X1", KindNor, in("a", "b"), 4, 28, 3.0, 0.12},
+		{"NOR2X2", KindNor, in("a", "b"), 6, 26, 1.5, 0.11},
+		{"NOR3X1", KindNor, in("a", "b", "c"), 5, 36, 3.5, 0.13},
+		{"NOR4X1", KindNor, in("a", "b", "c", "d"), 7, 44, 4.0, 0.14},
+		// Non-inverting AND/OR (inverter folded in).
+		{"AND2X1", KindAnd, in("a", "b"), 5, 40, 2.4, 0.10},
+		{"AND3X1", KindAnd, in("a", "b", "c"), 6, 46, 2.6, 0.11},
+		{"AND4X1", KindAnd, in("a", "b", "c", "d"), 7, 52, 2.8, 0.12},
+		{"OR2X1", KindOr, in("a", "b"), 5, 44, 2.6, 0.11},
+		{"OR3X1", KindOr, in("a", "b", "c"), 6, 52, 2.9, 0.12},
+		{"OR4X1", KindOr, in("a", "b", "c", "d"), 7, 60, 3.2, 0.13},
+		// XOR family and complex gates.
+		{"XOR2X1", KindXor, in("a", "b"), 8, 55, 2.8, 0.13},
+		{"XNOR2X1", KindXnor, in("a", "b"), 8, 57, 2.8, 0.13},
+		{"AOI21X1", KindAoi21, in("a", "b", "c"), 5, 32, 3.0, 0.12},
+		{"OAI21X1", KindOai21, in("a", "b", "c"), 5, 34, 3.1, 0.12},
+		// 2:1 mux — the building block of scan muxes and the TSFF.
+		{"MUX2X1", KindMux2, in("a", "b", "s"), 7, 48, 2.7, 0.12},
+		{"MUX2X2", KindMux2, in("a", "b", "s"), 9, 44, 1.4, 0.11},
+	}
+
+	for _, s := range specs {
+		l.Add(&Cell{
+			Name:    s.name,
+			Kind:    s.kind,
+			Inputs:  s.inputs,
+			Output:  "y",
+			Width:   s.width * l.SiteWidth,
+			Delay:   makeDelayTable(s.intrinsic, s.drive, s.slewSens),
+			OutSlew: makeSlewTable(12, s.drive),
+			Drive:   s.drive,
+			MaxLoad: 256,
+		})
+	}
+
+	// Flip-flops. The CLK→Q arc carries the cell delay; D (and SI/SE for
+	// the scan flop) only contribute capacitance plus setup/hold.
+	ff := func(name string, kind Kind, widthSites, intrinsic float64, pins []Pin) {
+		l.Add(&Cell{
+			Name:    name,
+			Kind:    kind,
+			Inputs:  pins,
+			Output:  "q",
+			Width:   widthSites * l.SiteWidth,
+			Delay:   makeDelayTable(intrinsic, 2.0, 0.05),
+			OutSlew: makeSlewTable(14, 2.0),
+			Setup:   110,
+			Hold:    25,
+			Drive:   2.0,
+			MaxLoad: 256,
+		})
+	}
+	ff("DFFX1", KindDff, 16, 190, []Pin{
+		{Name: "d", Cap: 1.8},
+		{Name: "clk", Cap: 1.5, Clock: true},
+	})
+	ff("SDFFX1", KindSdff, 21, 205, []Pin{
+		{Name: "d", Cap: 1.8},
+		{Name: "si", Cap: 1.8},
+		{Name: "se", Cap: 1.6},
+		{Name: "clk", Cap: 1.5, Clock: true},
+	})
+
+	// Filler cells in power-of-two site widths.
+	for _, w := range []float64{1, 2, 4, 8, 16} {
+		l.Add(&Cell{
+			Name:  fmt.Sprintf("FILL%d", int(w)),
+			Kind:  KindFill,
+			Width: w * l.SiteWidth,
+		})
+	}
+
+	return l
+}

@@ -1,0 +1,115 @@
+package stdcell
+
+import "testing"
+
+func TestDefaultLibraryIsComplete(t *testing.T) {
+	l := Default()
+	// Every kind the netlist generator or DfT flow instantiates must
+	// exist with the fan-ins it requests.
+	wantFanins := map[Kind][]int{
+		KindInv:   {1},
+		KindBuf:   {1},
+		KindNand:  {2, 3, 4},
+		KindNor:   {2, 3, 4},
+		KindAnd:   {2, 3, 4},
+		KindOr:    {2, 3, 4},
+		KindXor:   {2},
+		KindXnor:  {2},
+		KindAoi21: {3},
+		KindOai21: {3},
+		KindMux2:  {3},
+	}
+	for kind, fanins := range wantFanins {
+		for _, n := range fanins {
+			if l.Weakest(kind, n) == nil {
+				t.Errorf("no %v cell with %d inputs", kind, n)
+			}
+		}
+	}
+	for _, name := range []string{"DFFX1", "SDFFX1", "MUX2X1", "BUFX4", "FILL1"} {
+		if l.Cell(name) == nil {
+			t.Errorf("missing cell %s", name)
+		}
+	}
+}
+
+func TestSequentialCellsHaveClockAndSetup(t *testing.T) {
+	l := Default()
+	for _, name := range []string{"DFFX1", "SDFFX1"} {
+		c := l.MustCell(name)
+		if c.ClockPin() != "clk" {
+			t.Errorf("%s: clock pin = %q, want clk", name, c.ClockPin())
+		}
+		if c.Setup <= 0 {
+			t.Errorf("%s: setup = %g, want > 0", name, c.Setup)
+		}
+	}
+}
+
+func TestDriveStrengthOrdering(t *testing.T) {
+	l := Default()
+	// Stronger cells must be wider and faster under load.
+	x1, x4 := l.MustCell("INVX1"), l.MustCell("INVX4")
+	if x4.Width <= x1.Width {
+		t.Errorf("INVX4 width %g not greater than INVX1 width %g", x4.Width, x1.Width)
+	}
+	d1, _ := x1.Delay.Lookup(20, 64)
+	d4, _ := x4.Delay.Lookup(20, 64)
+	if d4 >= d1 {
+		t.Errorf("INVX4 delay %g not faster than INVX1 delay %g at 64 fF", d4, d1)
+	}
+	// Weakest/Strongest agree with the ordering.
+	if l.Weakest(KindInv, 1).Name != "INVX1" {
+		t.Errorf("Weakest inv = %s, want INVX1", l.Weakest(KindInv, 1).Name)
+	}
+	if l.Strongest(KindInv, 1).Name != "INVX8" {
+		t.Errorf("Strongest inv = %s, want INVX8", l.Strongest(KindInv, 1).Name)
+	}
+}
+
+func TestFillersDescendingWidth(t *testing.T) {
+	l := Default()
+	fills := l.Fillers()
+	if len(fills) == 0 {
+		t.Fatal("no filler cells")
+	}
+	for i := 1; i < len(fills); i++ {
+		if fills[i].Width > fills[i-1].Width {
+			t.Errorf("fillers not sorted by descending width: %s after %s", fills[i].Name, fills[i-1].Name)
+		}
+	}
+	if fills[len(fills)-1].Width != l.SiteWidth {
+		t.Errorf("narrowest filler is %g µm, want one site (%g µm)", fills[len(fills)-1].Width, l.SiteWidth)
+	}
+}
+
+func TestCellPinHelpers(t *testing.T) {
+	l := Default()
+	c := l.MustCell("SDFFX1")
+	if got := c.InputCap("si"); got != 1.8 {
+		t.Errorf("InputCap(si) = %g, want 1.8", got)
+	}
+	if got := c.InputCap("nope"); got != 0 {
+		t.Errorf("InputCap(nope) = %g, want 0", got)
+	}
+	if got := c.FindInput("se"); got != 2 {
+		t.Errorf("FindInput(se) = %d, want 2", got)
+	}
+	if got := c.FindInput("zz"); got != -1 {
+		t.Errorf("FindInput(zz) = %d, want -1", got)
+	}
+	if c.Area() <= 0 {
+		t.Error("Area() must be positive")
+	}
+}
+
+func TestAddDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate cell name")
+		}
+	}()
+	l := NewLibrary("x", 3.7, 0.41, 1e-4, 0.2)
+	l.Add(&Cell{Name: "A", Kind: KindInv})
+	l.Add(&Cell{Name: "A", Kind: KindInv})
+}

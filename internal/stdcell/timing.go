@@ -1,0 +1,112 @@
+package stdcell
+
+// Table is a two-dimensional NLDM lookup table: Values[i][j] is the table
+// entry for input slew Slews[i] and output load Loads[j]. Both axes must be
+// strictly increasing. Lookups between grid points use bilinear
+// interpolation; lookups outside the grid use linear extrapolation from the
+// nearest grid cell and report it, mirroring the paper's description of
+// Pearl: "Extrapolation is used in these cases, which however results in
+// less accurate results" — such cells are the paper's "slow nodes".
+type Table struct {
+	Slews  []float64   // ps, ascending
+	Loads  []float64   // fF, ascending
+	Values [][]float64 // ps; len(Values) == len(Slews), len(Values[i]) == len(Loads)
+}
+
+// Lookup evaluates the table at the given input slew and output load.
+// extrapolated is true when either axis lies outside the characterized
+// range, i.e. when a Pearl-style slow node would be reported.
+func (t *Table) Lookup(slew, load float64) (value float64, extrapolated bool) {
+	if len(t.Slews) == 0 || len(t.Loads) == 0 {
+		return 0, false
+	}
+	i, fs, exS := axisLocate(t.Slews, slew)
+	j, fl, exL := axisLocate(t.Loads, load)
+	v00 := t.Values[i][j]
+	v01 := t.Values[i][j+1]
+	v10 := t.Values[i+1][j]
+	v11 := t.Values[i+1][j+1]
+	v0 := v00 + (v01-v00)*fl
+	v1 := v10 + (v11-v10)*fl
+	return v0 + (v1-v0)*fs, exS || exL
+}
+
+// axisLocate finds the interpolation segment for x on an ascending axis.
+// It returns the lower index i of the segment [axis[i], axis[i+1]], the
+// fractional position f within it (may be <0 or >1 when extrapolating),
+// and whether x lies outside the axis range.
+func axisLocate(axis []float64, x float64) (i int, f float64, outside bool) {
+	n := len(axis)
+	if n == 1 {
+		return 0, 0, x != axis[0]
+	}
+	switch {
+	case x < axis[0]:
+		i, outside = 0, true
+	case x > axis[n-1]:
+		i, outside = n-2, true
+	default:
+		// Find the last i with axis[i] <= x, capped to n-2.
+		i = n - 2
+		for k := 1; k < n; k++ {
+			if x < axis[k] {
+				i = k - 1
+				break
+			}
+		}
+	}
+	den := axis[i+1] - axis[i]
+	if den == 0 {
+		return i, 0, outside
+	}
+	return i, (x - axis[i]) / den, outside
+}
+
+// Standard characterization axes used throughout the default library.
+// A real 130 nm library uses similar decade-spaced grids.
+var (
+	stdSlews = []float64{5, 20, 80, 320, 1280}
+	stdLoads = []float64{1, 4, 16, 64, 256}
+)
+
+// makeDelayTable builds an NLDM delay table from a first-order analytic
+// model: delay = intrinsic + drive·load + slewSens·slew, with a mild
+// square-root compression of the slew term so the table is genuinely
+// non-linear (interpolation then matters, and extrapolation genuinely
+// degrades, as for real silicon).
+func makeDelayTable(intrinsic, drive, slewSens float64) Table {
+	return makeTable(func(s, l float64) float64 {
+		return intrinsic + drive*l + slewSens*slewTerm(s)
+	})
+}
+
+// makeSlewTable builds an NLDM output-slew table: the output edge rate is
+// dominated by drive·load, with a floor and weak input-slew feedthrough.
+func makeSlewTable(floor, drive float64) Table {
+	return makeTable(func(s, l float64) float64 {
+		return floor + 1.7*drive*l + 0.1*slewTerm(s)
+	})
+}
+
+func makeTable(f func(slew, load float64) float64) Table {
+	vals := make([][]float64, len(stdSlews))
+	for i, s := range stdSlews {
+		row := make([]float64, len(stdLoads))
+		for j, l := range stdLoads {
+			row[j] = f(s, l)
+		}
+		vals[i] = row
+	}
+	return Table{Slews: stdSlews, Loads: stdLoads, Values: vals}
+}
+
+// slewTerm compresses large input slews: the delay penalty of a slow input
+// edge grows sub-linearly once the edge is much slower than the cell's own
+// switching time.
+func slewTerm(s float64) float64 {
+	if s <= 80 {
+		return s
+	}
+	// Continuous at s=80 with slope 0.5 beyond it.
+	return 80 + 0.5*(s-80)
+}

@@ -1,0 +1,107 @@
+package stdcell
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestLookupAtGridPoints(t *testing.T) {
+	tab := makeDelayTable(30, 2.0, 0.1)
+	for i, s := range tab.Slews {
+		for j, l := range tab.Loads {
+			got, ex := tab.Lookup(s, l)
+			if ex {
+				t.Fatalf("Lookup(%g,%g) flagged extrapolation at a grid point", s, l)
+			}
+			if !approx(got, tab.Values[i][j], 1e-9) {
+				t.Errorf("Lookup(%g,%g) = %g, want %g", s, l, got, tab.Values[i][j])
+			}
+		}
+	}
+}
+
+func TestLookupInterpolatesBetweenPoints(t *testing.T) {
+	tab := makeDelayTable(30, 2.0, 0.1)
+	// Midpoint between two load grid points at a fixed slew grid point.
+	s := tab.Slews[1]
+	lmid := (tab.Loads[1] + tab.Loads[2]) / 2
+	got, ex := tab.Lookup(s, lmid)
+	want := (tab.Values[1][1] + tab.Values[1][2]) / 2
+	if ex {
+		t.Fatalf("unexpected extrapolation inside the grid")
+	}
+	if !approx(got, want, 1e-9) {
+		t.Errorf("midpoint lookup = %g, want %g", got, want)
+	}
+}
+
+func TestLookupExtrapolationFlag(t *testing.T) {
+	tab := makeDelayTable(30, 2.0, 0.1)
+	cases := []struct {
+		slew, load float64
+		want       bool
+	}{
+		{20, 16, false},
+		{20, 500, true},    // load beyond the table
+		{2000, 16, true},   // slew beyond the table
+		{2000, 500, true},  // both
+		{1, 16, true},      // below-range slew is also uncharacterized
+		{20, 0.5, true},    // below-range load
+		{1280, 256, false}, // exactly at the last grid point
+	}
+	for _, c := range cases {
+		_, ex := tab.Lookup(c.slew, c.load)
+		if ex != c.want {
+			t.Errorf("Lookup(%g,%g) extrapolated=%v, want %v", c.slew, c.load, ex, c.want)
+		}
+	}
+}
+
+func TestLookupExtrapolationIsLinearContinuation(t *testing.T) {
+	// Beyond the grid the table must continue the last segment's slope,
+	// i.e. for the (linear-in-load) delay model the extrapolated value
+	// matches the analytic model exactly.
+	tab := makeDelayTable(30, 2.0, 0)
+	got, ex := tab.Lookup(20, 512)
+	if !ex {
+		t.Fatalf("expected extrapolation at load 512")
+	}
+	want := 30 + 2.0*512 + 0*20.0
+	if !approx(got, want, 1e-6) {
+		t.Errorf("extrapolated delay = %g, want %g", got, want)
+	}
+}
+
+func TestLookupMonotonicInLoad(t *testing.T) {
+	tab := makeDelayTable(25, 1.5, 0.1)
+	f := func(slewSeed, l1Seed, l2Seed uint16) bool {
+		slew := 5 + float64(slewSeed%1200)
+		la := 1 + float64(l1Seed%250)
+		lb := la + float64(l2Seed%100)
+		va, _ := tab.Lookup(slew, la)
+		vb, _ := tab.Lookup(slew, lb)
+		return vb >= va-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAxisLocateEdges(t *testing.T) {
+	axis := []float64{1, 4, 16}
+	i, f, out := axisLocate(axis, 4)
+	if out || i != 1 || !approx(f, 0, 1e-12) {
+		t.Errorf("locate(4): i=%d f=%g out=%v", i, f, out)
+	}
+	i, f, out = axisLocate(axis, 0.5)
+	if !out || i != 0 || f >= 0 {
+		t.Errorf("locate(0.5): i=%d f=%g out=%v", i, f, out)
+	}
+	i, f, out = axisLocate(axis, 32)
+	if !out || i != 1 || f <= 1 {
+		t.Errorf("locate(32): i=%d f=%g out=%v", i, f, out)
+	}
+}

@@ -1,0 +1,21 @@
+// Package testdata computes scan test data volume and test application
+// time, equations (1) and (2) of the paper:
+//
+//	TDV = 2·n·((l_max+1)·p + l_max)     [bits]
+//	TAT = (l_max+1)·p + l_max           [cycles]
+//
+// where n is the number of scan chains, l_max the longest chain, and p the
+// pattern count. The factor 2 counts stimuli and responses; the +1 per
+// pattern is the capture cycle; the trailing l_max flushes the final
+// responses.
+package testdata
+
+// TDV returns the scan test data volume in bits (Eq. 1).
+func TDV(chains, lMax, patterns int) int64 {
+	return 2 * int64(chains) * TAT(lMax, patterns)
+}
+
+// TAT returns the test application time in cycles (Eq. 2).
+func TAT(lMax, patterns int) int64 {
+	return int64(lMax+1)*int64(patterns) + int64(lMax)
+}

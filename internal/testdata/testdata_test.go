@@ -1,0 +1,41 @@
+package testdata
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEquationsByBitCounting(t *testing.T) {
+	// Brute-force model of a scan test: per pattern, l_max shift-in
+	// cycles overlapped with shift-out, plus one capture; a final l_max
+	// shift flushes the last responses. Data volume is one stimulus and
+	// one response bit per chain per shift cycle.
+	f := func(ch8, l8, p8 uint8) bool {
+		chains := int(ch8%31) + 1
+		lMax := int(l8 % 200)
+		patterns := int(p8 % 100)
+		cycles := 0
+		for p := 0; p < patterns; p++ {
+			cycles += lMax // shift in (shift out previous)
+			cycles++       // capture
+		}
+		cycles += lMax // flush final responses
+		bits := int64(cycles) * int64(chains) * 2
+		return TAT(lMax, patterns) == int64(cycles) && TDV(chains, lMax, patterns) == bits
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPaperShapedValues(t *testing.T) {
+	// Sanity on magnitudes: 1,636 flops in 17 chains of ≤100, 1,000
+	// patterns → ~3.4 Mbit, ~101k cycles.
+	tat := TAT(100, 1000)
+	if tat != 101*1000+100 {
+		t.Errorf("TAT = %d", tat)
+	}
+	if got := TDV(17, 100, 1000); got != 2*17*tat {
+		t.Errorf("TDV = %d", got)
+	}
+}

@@ -1,0 +1,325 @@
+// Package tpi implements the paper's core subject: test point insertion
+// with transparent scan flip-flops (TSFFs).
+//
+// A TSFF (Figure 1 of the paper) is a scan flip-flop with an input
+// multiplexer (select TE) and an output multiplexer (select TR) that acts
+// as an observation point and a control point at the same time:
+//
+//	          ┌────────┐        ┌─────┐
+//	D ───────►│ 0      │ w_in   │     │ w_q  ┌────────┐
+//	          │   mux  ├───┬───►│ DFF ├─────►│ 1      │
+//	TI ──────►│ 1      │   │    │     │      │   mux  ├──► loads
+//	          └───▲────┘   └───────────────► │ 0      │
+//	              TE                         └───▲────┘
+//	                                             TR
+//
+// Modes: application TE=0 TR=0 (transparent, two mux delays in the
+// functional path); scan shift TE=1 TR=1; scan capture TE=0 TR=1 (the
+// functional value is captured while the output is controlled from the
+// flop); scan flush TE=1 TR=0 (combinational TI→output path).
+//
+// Insertion follows the paper's three steps: (1) testability-analysis-
+// driven selection of target nets, (2) clock-domain assignment per TSFF,
+// (3) netlist editing.
+package tpi
+
+import (
+	"fmt"
+	"math"
+
+	"tpilayout/internal/netlist"
+	"tpilayout/internal/testability"
+)
+
+// TestPoint records one inserted TSFF.
+type TestPoint struct {
+	Target  netlist.NetID // net the TSFF was inserted on (original ID)
+	Out     netlist.NetID // new net driving the original loads
+	InMux   netlist.CellID
+	FF      netlist.CellID
+	OutMux  netlist.CellID
+	Domain  int
+	ScoreTC float64 // testability cost of the target at selection time
+}
+
+// Options configures insertion.
+type Options struct {
+	// Count is the number of TSFFs to insert.
+	Count int
+	// Exclude blocks nets from receiving test points (e.g. nets on
+	// critical paths with slack below threshold — the Section 5
+	// discussion). Nets are identified by their IDs before insertion.
+	Exclude map[netlist.NetID]bool
+	// MinTC skips nets easier than this testability cost; 0 accepts any.
+	// The default of 0 lets the ranking decide alone.
+	MinTC float64
+	// Constraints are extra capture-mode constants for the analysis
+	// (e.g. an existing scan-enable net).
+	Constraints map[netlist.NetID]int8
+	// Reanalyze controls how often testability is recomputed: every
+	// Reanalyze insertions (default 1 = the fully iterative process of
+	// the paper's method; larger values batch for speed).
+	Reanalyze int
+}
+
+// Result describes the inserted test points and their control nets.
+type Result struct {
+	Points []TestPoint
+	TE, TR netlist.NetID // global test-point control nets (NoNet if Count==0)
+}
+
+// CaptureConstraints returns the capture-mode constants: TE=0, TR=1 (the
+// TSFF observes its functional input and controls its output).
+func (r *Result) CaptureConstraints() map[netlist.NetID]int8 {
+	m := map[netlist.NetID]int8{}
+	if r.TE != netlist.NoNet {
+		m[r.TE] = 0
+		m[r.TR] = 1
+	}
+	return m
+}
+
+// ApplicationConstraints returns the functional-mode constants: TE=0,
+// TR=0 (the TSFF is transparent).
+func (r *Result) ApplicationConstraints() map[netlist.NetID]int8 {
+	m := map[netlist.NetID]int8{}
+	if r.TE != netlist.NoNet {
+		m[r.TE] = 0
+		m[r.TR] = 0
+	}
+	return m
+}
+
+// Insert selects target nets and inserts opt.Count TSFFs into n.
+func Insert(n *netlist.Netlist, opt Options) (*Result, error) {
+	res := &Result{TE: netlist.NoNet, TR: netlist.NoNet}
+	if opt.Count <= 0 {
+		return res, nil
+	}
+	if opt.Reanalyze <= 0 {
+		opt.Reanalyze = 1
+	}
+	res.TE = n.AddPI("tp_te")
+	res.TR = n.AddPI("tp_tr")
+
+	constraints := map[netlist.NetID]int8{res.TE: 0, res.TR: 1}
+	for k, v := range opt.Constraints {
+		constraints[k] = v
+	}
+
+	taken := make(map[netlist.NetID]bool)
+	for len(res.Points) < opt.Count {
+		an, err := testability.Analyze(n, testability.Options{Constraints: constraints})
+		if err != nil {
+			return nil, err
+		}
+		batch := opt.Reanalyze
+		if rem := opt.Count - len(res.Points); batch > rem {
+			batch = rem
+		}
+		targets := selectTargets(n, an, opt, taken, batch)
+		if len(targets) == 0 {
+			return res, fmt.Errorf("tpi: no insertable net left after %d test points", len(res.Points))
+		}
+		for _, tgt := range targets {
+			tp, err := insertTSFF(n, tgt.net, res.TE, res.TR, len(res.Points))
+			if err != nil {
+				return nil, err
+			}
+			tp.ScoreTC = tgt.tc
+			res.Points = append(res.Points, tp)
+			taken[tgt.net] = true
+		}
+	}
+	return res, nil
+}
+
+type target struct {
+	net netlist.NetID
+	tc  float64 // gain score (stored in TestPoint.ScoreTC)
+	cc  int32   // SCOAP CC0+CC1 tie-break: prefer the hardest-to-control net
+}
+
+// deficitBits converts a probability into "bits of deficit": 0 for
+// certain events, capped at 48 for (near-)impossible ones.
+func deficitBits(p float64) float64 {
+	if p <= 0 {
+		return 48
+	}
+	b := -math.Log2(p)
+	if b < 0 {
+		b = 0
+	}
+	if b > 48 {
+		b = 48
+	}
+	return b
+}
+
+// selectTargets ranks candidate nets by estimated test-point gain, the
+// COP-style cost function of the paper's method: an observation point at
+// net n fixes the observability deficit of every gate whose only
+// observation path runs through n (the fanout-free fan-in cone), and the
+// control half of the TSFF fixes the net's controllability deficit, so
+//
+//	score(n) = obsDeficitBits(n) · (1 + |FFICone(n)|) + ctrlDeficitBits(n)
+//
+// with SCOAP controllability as a tie-break toward the hardest net.
+func selectTargets(n *netlist.Netlist, an *testability.Analysis, opt Options, taken map[netlist.NetID]bool, k int) []target {
+	var best []target
+	worse := func(a, b target) bool {
+		if a.tc != b.tc {
+			return a.tc < b.tc
+		}
+		return a.cc < b.cc
+	}
+	for id := range n.Nets {
+		net := netlist.NetID(id)
+		if !insertable(n, net) || taken[net] || opt.Exclude[net] {
+			continue
+		}
+		if an.TC(net) < opt.MinTC {
+			continue
+		}
+		score := deficitBits(an.Obs[net])*(1+float64(an.FFICone[net])) +
+			deficitBits(math.Min(an.P1[net], 1-an.P1[net]))
+		cc := an.CC0[net] + an.CC1[net]
+		if cc > testability.Inf {
+			cc = testability.Inf
+		}
+		t := target{net: net, tc: score, cc: cc}
+		if len(best) < k {
+			best = append(best, t)
+			continue
+		}
+		// Replace the weakest of the current best.
+		wi := 0
+		for i := 1; i < len(best); i++ {
+			if worse(best[i], best[wi]) {
+				wi = i
+			}
+		}
+		if worse(best[wi], t) {
+			best[wi] = t
+		}
+	}
+	return best
+}
+
+// insertable reports whether a net can receive a TSFF: a live logic net
+// driven by a functional combinational cell. Flip-flop outputs and primary
+// inputs are already fully controllable/observable in full scan; nets
+// created by DfT insertion are off limits.
+func insertable(n *netlist.Netlist, net netlist.NetID) bool {
+	nn := &n.Nets[net]
+	if nn.Dead || nn.Const >= 0 || nn.PI >= 0 {
+		return false
+	}
+	if nn.Driver == netlist.NoCell {
+		return false
+	}
+	d := &n.Cells[nn.Driver]
+	if d.Dead || d.Tag != netlist.TagNone {
+		return false
+	}
+	k := d.Cell.Kind
+	if k.IsSequential() || k.IsPhysicalOnly() {
+		return false
+	}
+	return len(n.Fanouts()[net]) > 0
+}
+
+// insertTSFF performs steps 2 and 3 for one test point: picks the clock
+// domain and splices the three TSFF cells into the netlist.
+func insertTSFF(n *netlist.Netlist, tnet netlist.NetID, te, tr netlist.NetID, idx int) (TestPoint, error) {
+	dom := clockDomainFor(n, tnet)
+	if dom < 0 {
+		return TestPoint{}, fmt.Errorf("tpi: no clock domain reachable from net %s", n.Nets[tnet].Name)
+	}
+	clk := n.PIs[n.Domains[dom].ClockPI].Net
+	lib := n.Lib
+
+	loads := append([]netlist.Load(nil), n.Fanouts()[tnet]...)
+	base := fmt.Sprintf("tp%d", idx)
+	wIn := n.AddNet(base + "_win")
+	wQ := n.AddNet(base + "_wq")
+	wOut := n.AddNet(base + "_wout")
+
+	// Scan-in placeholder: the scan stitcher rewires it into a chain.
+	si := n.AddConst(0)
+
+	inMux := n.AddCell(base+"_im", lib.MustCell("MUX2X1"), []netlist.NetID{tnet, si, te}, wIn)
+	n.Cells[inMux].Tag = netlist.TagTestMux
+	ffCell := lib.MustCell("DFFX1")
+	ff := n.AddCell(base+"_ff", ffCell, []netlist.NetID{wIn, clk}, wQ)
+	n.Cells[ff].Tag = netlist.TagScanFF
+	n.Cells[ff].Domain = dom
+	outMux := n.AddCell(base+"_om", lib.MustCell("MUX2X1"), []netlist.NetID{wIn, wQ, tr}, wOut)
+	n.Cells[outMux].Tag = netlist.TagTestMux
+
+	n.MoveLoads(tnet, wOut, loads)
+	return TestPoint{
+		Target: tnet,
+		Out:    wOut,
+		InMux:  inMux,
+		FF:     ff,
+		OutMux: outMux,
+		Domain: dom,
+	}, nil
+}
+
+// clockDomainFor finds the clock domain of the sequential cells nearest to
+// net: backwards through the fanin cone first, then forwards, defaulting
+// to domain 0.
+func clockDomainFor(n *netlist.Netlist, net netlist.NetID) int {
+	if len(n.Domains) == 0 {
+		return -1
+	}
+	if len(n.Domains) == 1 {
+		return 0
+	}
+	seen := make(map[netlist.NetID]bool)
+	queue := []netlist.NetID{net}
+	for steps := 0; len(queue) > 0 && steps < 4096; steps++ {
+		id := queue[0]
+		queue = queue[1:]
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		d := n.Nets[id].Driver
+		if d == netlist.NoCell {
+			continue
+		}
+		c := &n.Cells[d]
+		if c.Cell.Kind.IsSequential() && c.Domain >= 0 {
+			return c.Domain
+		}
+		queue = append(queue, c.Ins...)
+	}
+	// Forward search through the fanout cone.
+	fan := n.Fanouts()
+	seen = make(map[netlist.NetID]bool)
+	queue = []netlist.NetID{net}
+	for steps := 0; len(queue) > 0 && steps < 4096; steps++ {
+		id := queue[0]
+		queue = queue[1:]
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		for _, ld := range fan[id] {
+			if ld.Cell == netlist.NoCell {
+				continue
+			}
+			c := &n.Cells[ld.Cell]
+			if c.Cell.Kind.IsSequential() && c.Domain >= 0 {
+				return c.Domain
+			}
+			if c.Out != netlist.NoNet {
+				queue = append(queue, c.Out)
+			}
+		}
+	}
+	return 0
+}

@@ -1,0 +1,248 @@
+package tpi
+
+import (
+	"testing"
+
+	"tpilayout/internal/circuitgen"
+	"tpilayout/internal/logicsim"
+	"tpilayout/internal/netlist"
+	"tpilayout/internal/stdcell"
+	"tpilayout/internal/testability"
+)
+
+// hardCone builds a circuit with the observation-conflict structure that
+// TPI targets: two 4-wide AND subcones whose outputs meet in an AND
+// collector feeding a flop. The subcone outputs ("o1"/"o2") are the
+// highest-gain test point sites: rarely 1, and the only observation path
+// of their whole cone runs through the sibling-gated collector.
+func hardCone(t testing.TB) (*netlist.Netlist, map[netlist.NetID]bool) {
+	t.Helper()
+	lib := stdcell.Default()
+	n := netlist.New("hard", lib)
+	clk, dom := n.AddClockPI("clk", 10000)
+	var pis []netlist.NetID
+	for i := 0; i < 9; i++ {
+		pis = append(pis, n.AddPI("pi"))
+	}
+	and2 := lib.MustCell("AND2X1")
+	subcone := func(name string, leaves []netlist.NetID) netlist.NetID {
+		layer := leaves
+		for len(layer) > 1 {
+			var next []netlist.NetID
+			for i := 0; i+1 < len(layer); i += 2 {
+				out := n.AddNet(name)
+				n.AddCell("g", and2, []netlist.NetID{layer[i], layer[i+1]}, out)
+				next = append(next, out)
+			}
+			layer = next
+		}
+		return layer[0]
+	}
+	o1 := subcone("o1", pis[0:4])
+	o2 := subcone("o2", pis[4:8])
+	col := n.AddNet("col")
+	n.AddCell("col", and2, []netlist.NetID{o1, o2}, col)
+	mix := n.AddNet("mix")
+	n.AddCell("x", lib.MustCell("XOR2X1"), []netlist.NetID{col, pis[8]}, mix)
+	q := n.AddNet("q")
+	ff := n.AddCell("ff", lib.MustCell("DFFX1"), []netlist.NetID{mix, clk}, q)
+	n.Cells[ff].Domain = dom
+	n.AddPO("q", q)
+	return n, map[netlist.NetID]bool{o1: true, o2: true}
+}
+
+func TestSelectionTargetsHardNet(t *testing.T) {
+	n, hard := hardCone(t)
+	res, err := Insert(n, Options{Count: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("inserted %d points, want 2", len(res.Points))
+	}
+	for _, tp := range res.Points {
+		if !hard[tp.Target] {
+			t.Errorf("TSFF at %s, want a subcone output", n.Nets[tp.Target].Name)
+		}
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatalf("netlist invalid after TPI: %v", err)
+	}
+}
+
+func TestInsertionAddsThreeCellsPerPoint(t *testing.T) {
+	lib := stdcell.Default()
+	n, err := circuitgen.Generate(circuitgen.S38417Class().Scale(0.02), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := n.NumLiveCells()
+	ffBefore := n.NumFlipFlops()
+	res, err := Insert(n, Options{Count: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.NumLiveCells() - before; got != 3*len(res.Points) {
+		t.Errorf("cell delta = %d, want %d", got, 3*len(res.Points))
+	}
+	if got := n.NumFlipFlops() - ffBefore; got != len(res.Points) {
+		t.Errorf("FF delta = %d, want %d", got, len(res.Points))
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTSFFModes is the Figure 1 experiment: the TSFF must behave correctly
+// in all four operating modes.
+func TestTSFFModes(t *testing.T) {
+	n, hard := hardCone(t)
+	ref, err := logicsim.New(n.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Insert(n, Options{Count: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := res.Points[0]
+	if !hard[tp.Target] {
+		t.Fatal("unexpected target; test assumes a subcone output")
+	}
+	target := tp.Target
+	s, err := logicsim.New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stim := []uint64{0xDEAD, 0xBEEF, 0xF00D, 0x1234, 0xFFFF, 0x0F0F, 0xAAAA, 0x5555, 0xC3C3}
+	setStim := func(sim *logicsim.Sim, net func(i int) netlist.NetID) {
+		for i, w := range stim {
+			sim.SetNet(net(i), w)
+		}
+	}
+	piNet := func(i int) netlist.NetID {
+		// PIs: clk is PIs[0]; functional pi i at PIs[1+i].
+		return n.PIs[1+i].Net
+	}
+
+	// Application mode: TE=0, TR=0 — the circuit must compute exactly the
+	// pre-TPI function.
+	s.SetNet(res.TE, 0)
+	s.SetNet(res.TR, 0)
+	setStim(s, piNet)
+	setStim(ref, piNet)
+	s.Propagate()
+	ref.Propagate()
+	if got, want := s.Get(tp.Out), ref.Get(target); got != want {
+		t.Errorf("application mode: TSFF output %#x, transparent value %#x", got, want)
+	}
+
+	// Capture mode: TE=0, TR=1 — the flop captures the functional value
+	// (observation point) while the output is controlled from the flop
+	// (control point).
+	s.SetNet(res.TR, ^uint64(0))
+	s.Propagate()
+	funcVal := s.Get(target)
+	s.StepClock(-1)
+	if got := s.Get(n.Cells[tp.FF].Out); got != funcVal {
+		t.Errorf("capture mode: flop holds %#x, want functional %#x", got, funcVal)
+	}
+	if got := s.Get(tp.Out); got != s.Get(n.Cells[tp.FF].Out) {
+		t.Errorf("capture mode: output %#x not controlled from flop %#x", got, s.Get(n.Cells[tp.FF].Out))
+	}
+
+	// Scan shift mode: TE=1, TR=1 — the flop loads TI.
+	s.SetNet(res.TE, ^uint64(0))
+	tiPin := n.Cells[tp.InMux].Cell.FindInput("b")
+	tiNet := n.Cells[tp.InMux].Ins[tiPin]
+	s.SetNet(tiNet, 0x7777)
+	s.StepClock(-1)
+	if got := s.Get(n.Cells[tp.FF].Out); got != 0x7777 {
+		t.Errorf("shift mode: flop holds %#x, want 0x7777", got)
+	}
+
+	// Flush mode: TE=1, TR=0 — combinational TI → output path.
+	s.SetNet(res.TR, 0)
+	s.SetNet(tiNet, 0x9999)
+	s.Propagate()
+	if got := s.Get(tp.Out); got != 0x9999 {
+		t.Errorf("flush mode: output %#x, want TI value 0x9999", got)
+	}
+}
+
+func TestExcludeRespected(t *testing.T) {
+	n, hard := hardCone(t)
+	res, err := Insert(n, Options{Count: 1, Exclude: hard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hard[res.Points[0].Target] {
+		t.Error("TSFF inserted on an excluded net")
+	}
+}
+
+func TestDomainAssignmentFollowsNeighbors(t *testing.T) {
+	lib := stdcell.Default()
+	n, err := circuitgen.Generate(circuitgen.WirelessCtrlClass().Scale(0.03), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Insert(n, Options{Count: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, tp := range res.Points {
+		if tp.Domain < 0 || tp.Domain >= len(n.Domains) {
+			t.Fatalf("test point with invalid domain %d", tp.Domain)
+		}
+		counts[tp.Domain]++
+		// The TSFF flop must be clocked by its domain's clock.
+		ff := n.Cells[tp.FF]
+		clkNet := ff.Ins[ff.Cell.FindInput("clk")]
+		if clkNet != n.PIs[n.Domains[tp.Domain].ClockPI].Net {
+			t.Errorf("TSFF %s clock net does not match its domain", ff.Name)
+		}
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTestabilityImprovesAfterTPI(t *testing.T) {
+	n, _ := hardCone(t)
+	res, err := Insert(n, Options{Count: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := res.Points[0].Target
+	after, err := testability.Analyze(n, testability.Options{Constraints: res.CaptureConstraints()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The subcone output feeds the TSFF's flop d-path: it is now directly
+	// observable, and its loads see a fully-controllable net.
+	if after.Obs[target] < 0.99 {
+		t.Errorf("Obs(target) = %g after TPI, want ≈1", after.Obs[target])
+	}
+	// In capture mode the TSFF output is driven from the scan-loaded
+	// flop through one mux: controllability cost 2.
+	if after.CC1[res.Points[0].Out] != 2 {
+		t.Errorf("TSFF output CC1 = %d, want 2 (scan bit + mux)", after.CC1[res.Points[0].Out])
+	}
+}
+
+func TestZeroCountIsNoop(t *testing.T) {
+	n, _ := hardCone(t)
+	before := n.NumLiveCells()
+	res, err := Insert(n, Options{Count: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 0 || n.NumLiveCells() != before {
+		t.Error("Count=0 modified the netlist")
+	}
+	if len(res.CaptureConstraints()) != 0 {
+		t.Error("constraints non-empty without test points")
+	}
+}

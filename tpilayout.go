@@ -1,0 +1,117 @@
+// Package tpilayout reproduces the experimental study "Impact of Test
+// Point Insertion on Silicon Area and Timing during Layout" (Vranken,
+// Sapei, Wunderlich — DATE 2004) as a self-contained Go library.
+//
+// It bundles a complete miniature EDA flow: a 130 nm-class standard-cell
+// library, gate-level netlists, testability analysis (SCOAP/COP),
+// TSFF-based test point insertion, full-scan insertion with layout-driven
+// chain reordering, PODEM ATPG with compaction and bit-parallel fault
+// simulation, min-cut placement, clock-tree synthesis, global routing, RC
+// extraction, and static timing analysis.
+//
+// The typical entry point is Sweep, which reruns the paper's experiment —
+// six layouts per circuit, at 0%..5% test points — and returns one
+// metrics row per layout covering the paper's Tables 1, 2 and 3:
+//
+//	design, _ := tpilayout.Generate(tpilayout.S38417Class(), tpilayout.DefaultLibrary())
+//	rows, _ := tpilayout.Sweep(design, tpilayout.ExperimentConfig("s38417c"), []float64{0, 1, 2, 3, 4, 5})
+//	fmt.Print(tpilayout.FormatTable1(rows))
+package tpilayout
+
+import (
+	"fmt"
+
+	"tpilayout/internal/circuitgen"
+	"tpilayout/internal/flow"
+	"tpilayout/internal/netlist"
+	"tpilayout/internal/scan"
+	"tpilayout/internal/stdcell"
+)
+
+// Re-exported core types. The internal packages remain the implementation
+// surface; these aliases are the supported public API.
+type (
+	// Spec describes a benchmark circuit profile.
+	Spec = circuitgen.Spec
+	// Netlist is a mapped gate-level design.
+	Netlist = netlist.Netlist
+	// Library is a standard-cell library.
+	Library = stdcell.Library
+	// Config selects DfT and layout parameters for one flow run.
+	Config = flow.Config
+	// Result is everything one flow run produces.
+	Result = flow.Result
+	// Metrics is one row across the paper's Tables 1–3.
+	Metrics = flow.Metrics
+	// DomainTiming is one Table 3 row (one clock domain of one layout).
+	DomainTiming = flow.DomainTiming
+)
+
+// DefaultLibrary returns the 130 nm-class standard-cell library used by
+// all experiments.
+func DefaultLibrary() *Library { return stdcell.Default() }
+
+// Benchmark circuit profiles from the paper's setup.
+func S38417Class() Spec       { return circuitgen.S38417Class() }
+func WirelessCtrlClass() Spec { return circuitgen.WirelessCtrlClass() }
+func DSPCoreClass() Spec      { return circuitgen.DSPCoreClass() }
+
+// SpecByName resolves the experiment circuits by their paper names.
+func SpecByName(name string) (Spec, error) {
+	switch name {
+	case "s38417", "s38417c":
+		return S38417Class(), nil
+	case "circuit1", "wctrl1", "wireless":
+		return WirelessCtrlClass(), nil
+	case "p26909", "p26909c", "dsp":
+		return DSPCoreClass(), nil
+	}
+	return Spec{}, fmt.Errorf("tpilayout: unknown circuit %q (want s38417c, wctrl1, or p26909c)", name)
+}
+
+// Generate builds the netlist for a circuit spec.
+func Generate(spec Spec, lib *Library) (*Netlist, error) {
+	return circuitgen.Generate(spec, lib)
+}
+
+// Run executes the full Figure 2 flow once.
+func Run(design *Netlist, cfg Config) (*Result, error) { return flow.Run(design, cfg) }
+
+// CriticalNets returns a TPI exclusion set from a baseline layout's
+// critical paths (the Section 5 technique).
+func CriticalNets(design *Netlist, cfg Config) (map[netlist.NetID]bool, error) {
+	return flow.CriticalNets(design, cfg)
+}
+
+// ExperimentConfig returns the per-circuit flow configuration the paper
+// describes: chains of at most 100 flops for s38417 and circuit 1 with
+// 97% row utilization, at most 32 chains and 50% utilization for p26909.
+func ExperimentConfig(circuit string) Config {
+	cfg := Config{}
+	switch circuit {
+	case "p26909c", "p26909":
+		cfg.Scan = scan.Options{MaxChains: 32}
+		cfg.Place.TargetUtilization = 0.50
+	default:
+		cfg.Scan = scan.Options{MaxChainLength: 100}
+		cfg.Place.TargetUtilization = 0.97
+	}
+	return cfg
+}
+
+// Sweep runs the flow for each test-point percentage and returns one
+// metrics row per layout, in order. Each layout is generated from scratch
+// (separate floorplans), exactly as the paper does.
+func Sweep(design *Netlist, cfg Config, tpPercents []float64) ([]Metrics, error) {
+	var rows []Metrics
+	for _, pct := range tpPercents {
+		c := cfg
+		c.TPPercent = pct
+		r, err := flow.Run(design, c)
+		if err != nil {
+			return nil, fmt.Errorf("tpilayout: sweep at %.1f%%: %w", pct, err)
+		}
+		rows = append(rows, r.Metrics)
+	}
+	return rows, nil
+}
