@@ -4,7 +4,10 @@
 //
 // Usage:
 //
-//	tpiflow -circuit s38417c -scale 0.25 -tp 1
+//	tpiflow -circuit s38417c -scale 0.25 -tp 1 -workers 4
+//
+// -workers bounds the fault-simulation shard count (0 = GOMAXPROCS,
+// 1 = serial); the printed metrics are identical for every value.
 package main
 
 import (
@@ -23,6 +26,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "circuit size scale factor (1.0 = paper size)")
 	tp := flag.Float64("tp", 1.0, "test points as a percentage of flip-flops")
 	skipATPG := flag.Bool("skip-atpg", false, "run only the physical flow (no pattern generation)")
+	workers := flag.Int("workers", 0, "fault-simulation shard count (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	spec, err := tpilayout.SpecByName(*circuit)
@@ -39,6 +43,7 @@ func main() {
 	cfg := tpilayout.ExperimentConfig(*circuit)
 	cfg.TPPercent = *tp
 	cfg.SkipATPG = *skipATPG
+	cfg.Workers = *workers
 	res, err := tpilayout.Run(design, cfg)
 	if err != nil {
 		log.Fatal(err)

@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	tpitables -circuits s38417c,wctrl1,p26909c -scale 0.25 -table all
+//	tpitables -circuits s38417c,wctrl1,p26909c -scale 0.25 -table all -workers 0
+//
+// The six layouts of a sweep are built concurrently on up to -workers
+// goroutines (0 = GOMAXPROCS, 1 = serial); the tables are byte-identical
+// for every worker count.
 //
 // At -scale 1 the circuits have their full published sizes; smaller
 // scales keep the structure (and the trends) while running much faster.
@@ -28,6 +32,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "circuit size scale factor")
 	table := flag.String("table", "all", "which table to print: 1, 2, 3, or all")
 	levels := flag.String("levels", "0,1,2,3,4,5", "test-point percentages to sweep")
+	workers := flag.Int("workers", 0, "sweep concurrency (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	var pcts []float64
@@ -54,6 +59,7 @@ func main() {
 		}
 		cfg := tpilayout.ExperimentConfig(name)
 		cfg.SkipATPG = *table == "2" || *table == "3"
+		cfg.Workers = *workers
 		start := time.Now()
 		rows, err := tpilayout.Sweep(design, cfg, pcts)
 		if err != nil {

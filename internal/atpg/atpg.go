@@ -29,6 +29,12 @@ type Options struct {
 	// phase). The phase stops early once two consecutive rounds each
 	// detect fewer than 0.1% of the fault classes.
 	RandomRounds int
+	// Workers is the number of fault-simulation shards used by the
+	// coverage, drop-detection, and compaction passes: the fault list is
+	// split across this many FaultSim instances and the per-class detect
+	// words are merged by fault index, so the result is bit-identical for
+	// every value. 0 means GOMAXPROCS; 1 forces serial simulation.
+	Workers int
 	// NoCompact disables the final reverse-order static compaction.
 	NoCompact bool
 	// NoDynamicCompaction disables per-cube secondary-fault targeting.
@@ -100,19 +106,22 @@ func Run(n *netlist.Netlist, set *fault.Set, opt Options) (*Result, error) {
 	})
 
 	gen := newPodem(v, ta, opt.BacktrackLimit)
-	fs := NewFaultSim(v)
+	pool := newSimPool(v, opt.Workers)
 	rng := rand.New(rand.NewSource(opt.FillSeed))
 	res := &Result{View: v, Faults: set}
 
+	// detWords is reused across drop passes; detWords[i] belongs to
+	// reps[i], which is what keeps the parallel merge deterministic.
+	detWords := make([]uint64, len(reps))
 	simulateAndDrop := func(batch *Batch) int {
 		dropped := 0
-		fs.SimGood(batch)
-		for _, r := range reps {
+		pool.SimGood(batch)
+		pool.detectEach(reps, set, batch, true, func(r int32) bool {
 			st := set.Status(r)
-			if st != fault.Undetected && st != fault.Aborted {
-				continue
-			}
-			if fs.Detects(set.Faults[r], batch, true) != 0 {
+			return st == fault.Undetected || st == fault.Aborted
+		}, detWords)
+		for i, r := range reps {
+			if detWords[i] != 0 {
 				set.SetStatus(r, fault.Detected)
 				dropped++
 			}
@@ -130,7 +139,7 @@ func Run(n *netlist.Netlist, set *fault.Set, opt Options) (*Result, error) {
 	}
 	lowRounds := 0
 	for round := 0; round < opt.RandomRounds && lowRounds < 2; round++ {
-		batch := fs.NewBatch()
+		batch := pool.NewBatch()
 		cube := make([]int8, len(v.Sources))
 		for bit := 0; bit < 64; bit++ {
 			for i := range cube {
@@ -151,7 +160,7 @@ func Run(n *netlist.Netlist, set *fault.Set, opt Options) (*Result, error) {
 	runPass := func(limit int) error {
 		gen.btLimit = limit
 		for {
-			batch := fs.NewBatch()
+			batch := pool.NewBatch()
 			count := 0
 			for ri, r := range reps {
 				if set.Status(r) != fault.Undetected {
@@ -211,7 +220,7 @@ func Run(n *netlist.Netlist, set *fault.Set, opt Options) (*Result, error) {
 	// and dynamic compaction packs independent easy faults densely); the
 	// random patterns then survive compaction only as a last resort.
 	if randomGenerated > 0 {
-		det := fs.coveredBy(res.Patterns[randomGenerated:], set, reps)
+		det := pool.coveredBy(res.Patterns[randomGenerated:], set, reps)
 		var fallback []int32
 		for _, r := range reps {
 			if set.Status(r) == fault.Detected && !det[r] {
@@ -233,7 +242,7 @@ func Run(n *netlist.Netlist, set *fault.Set, opt Options) (*Result, error) {
 
 	if !opt.NoCompact {
 		var kept []bool
-		res.Patterns, kept = compactReverse(fs, set, reps, res.Patterns)
+		res.Patterns, kept = compactReverse(pool, set, reps, res.Patterns)
 		for i, k := range kept {
 			if !k {
 				continue
@@ -258,20 +267,23 @@ func Run(n *netlist.Netlist, set *fault.Set, opt Options) (*Result, error) {
 }
 
 // coveredBy simulates the given patterns and reports which of the reps
-// they detect. Statuses are not modified.
-func (fs *FaultSim) coveredBy(patterns []Pattern, set *fault.Set, reps []int32) map[int32]bool {
+// they detect. Statuses are not modified. The per-batch scan is sharded
+// across the pool; det is only written between batches, so the include
+// callback reads it race-free.
+func (p *simPool) coveredBy(patterns []Pattern, set *fault.Set, reps []int32) map[int32]bool {
 	det := make(map[int32]bool)
+	out := make([]uint64, len(reps))
 	for lo := 0; lo < len(patterns); lo += 64 {
-		batch := fs.NewBatch()
+		batch := p.NewBatch()
 		for i := lo; i < len(patterns) && i < lo+64; i++ {
 			batch.SetPattern(i-lo, patterns[i])
 		}
-		fs.SimGood(batch)
-		for _, r := range reps {
-			if det[r] || set.Status(r) != fault.Detected {
-				continue
-			}
-			if fs.Detects(set.Faults[r], batch, true) != 0 {
+		p.SimGood(batch)
+		p.detectEach(reps, set, batch, true, func(r int32) bool {
+			return !det[r] && set.Status(r) == fault.Detected
+		}, out)
+		for i, r := range reps {
+			if out[i] != 0 {
 				det[r] = true
 			}
 		}
@@ -367,7 +379,7 @@ func fillRandom(cube []int8, rng *rand.Rand) {
 // not detected by an already-kept (later) pattern. Batched 64 wide; within
 // a batch a fault is credited to its highest-index detecting pattern,
 // which matches the sequential definition exactly.
-func compactReverse(fs *FaultSim, set *fault.Set, reps []int32, patterns []Pattern) ([]Pattern, []bool) {
+func compactReverse(p *simPool, set *fault.Set, reps []int32, patterns []Pattern) ([]Pattern, []bool) {
 	if len(patterns) == 0 {
 		return patterns, nil
 	}
@@ -380,24 +392,27 @@ func compactReverse(fs *FaultSim, set *fault.Set, reps []int32, patterns []Patte
 	}
 	done := make(map[int32]bool, len(targets))
 	keep := make([]bool, len(patterns))
+	detected := make([]uint64, len(targets))
 
 	for hi := len(patterns); hi > 0; hi -= min(hi, 64) {
 		lo := hi - min(hi, 64)
-		batch := fs.NewBatch()
+		batch := p.NewBatch()
 		for i := lo; i < hi; i++ {
 			batch.SetPattern(i-lo, patterns[i])
 		}
-		fs.SimGood(batch)
-		for _, r := range targets {
-			if done[r] {
-				continue
-			}
-			det := fs.Detects(set.Faults[r], batch, false)
-			if det == 0 {
+		p.SimGood(batch)
+		// Within one batch each still-open target is independent, so the
+		// detect words are computed in parallel and folded into done/keep
+		// serially, in target order — exactly the serial semantics.
+		p.detectEach(targets, set, batch, false, func(r int32) bool {
+			return !done[r]
+		}, detected)
+		for i, r := range targets {
+			if done[r] || detected[i] == 0 {
 				continue
 			}
 			done[r] = true
-			keep[lo+bits.Len64(det)-1] = true
+			keep[lo+bits.Len64(detected[i])-1] = true
 		}
 	}
 	out := patterns[:0]

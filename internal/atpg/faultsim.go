@@ -35,6 +35,21 @@ func NewFaultSim(v *View) *FaultSim {
 	return fs
 }
 
+// NewShard returns a FaultSim that aliases fs's good-value plane but owns
+// private propagation state (overlay, stamps, event queue). After a
+// SimGood on fs, Detects may run concurrently on fs and all of its shards:
+// propagation only reads the shared good plane.
+func (fs *FaultSim) NewShard() *FaultSim {
+	return &FaultSim{
+		v:       fs.v,
+		good:    fs.good,
+		faulty:  make([]uint64, len(fs.v.N.Nets)),
+		stamp:   make([]int32, len(fs.v.N.Nets)),
+		buckets: make([][]netlist.CellID, fs.v.MaxLevel+2),
+		queued:  make([]bool, len(fs.v.N.Cells)),
+	}
+}
+
 // Batch is up to 64 test patterns in transposed form: Words[i] carries bit
 // b = value of view source i in pattern b. N is the number of valid
 // patterns (low bits).

@@ -1,0 +1,97 @@
+package atpg
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"tpilayout/internal/fault"
+)
+
+// simPool shards fault-parallel simulation across a set of FaultSim
+// instances. All shards share one good-circuit value plane (written only
+// by SimGood, between parallel sections) while each owns its private
+// propagation state, so Detects runs concurrently without locking.
+//
+// Every result is merged by fault index, never by completion order, so a
+// pool of any size produces bit-identical output to a serial FaultSim.
+type simPool struct {
+	sims []*FaultSim
+}
+
+// newSimPool builds a pool of workers shards over the view. workers <= 0
+// selects GOMAXPROCS; workers == 1 degenerates to a serial simulator with
+// no goroutine overhead.
+func newSimPool(v *View, workers int) *simPool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &simPool{sims: make([]*FaultSim, workers)}
+	p.sims[0] = NewFaultSim(v)
+	for i := 1; i < workers; i++ {
+		p.sims[i] = p.sims[0].NewShard()
+	}
+	return p
+}
+
+// NewBatch allocates an empty batch for the pool's view.
+func (p *simPool) NewBatch() *Batch { return p.sims[0].NewBatch() }
+
+// SimGood simulates the fault-free circuit for the batch on the master
+// shard; the shared good plane becomes visible to every shard.
+func (p *simPool) SimGood(b *Batch) { p.sims[0].SimGood(b) }
+
+// detectEach fills out[i] with the detection word of fault class reps[i]
+// against the last SimGood batch, sharding the fault list across the
+// pool. Classes rejected by include get 0. include must not mutate
+// anything (it is called concurrently); out must have len(reps).
+func (p *simPool) detectEach(reps []int32, set *fault.Set, b *Batch, earlyExit bool, include func(int32) bool, out []uint64) {
+	parFor(len(reps), len(p.sims), func(shard, i int) {
+		r := reps[i]
+		if include(r) {
+			out[i] = p.sims[shard].Detects(set.Faults[r], b, earlyExit)
+		} else {
+			out[i] = 0
+		}
+	})
+}
+
+// parFor runs fn(shard, i) for every i in [0, n), distributing chunks of
+// iterations over the given number of goroutines. Each shard index is
+// held by exactly one goroutine, so fn may freely use per-shard state.
+func parFor(n, workers int, fn func(shard, i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	// Chunked work stealing: big enough to amortize the atomic, small
+	// enough to balance the wildly uneven per-fault propagation cost.
+	const chunk = 32
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(chunk)) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					fn(shard, i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -68,10 +68,22 @@ func netName(n *netlist.Netlist, id netlist.NetID) string {
 	return n.Nets[id].Name
 }
 
+// validName reports whether s can serve as a net or domain name in a
+// .bench file. Whitespace is rejected because WriteBench could not emit
+// such a name unambiguously (names are outer-trimmed on parse, and domain
+// names are space-separated in the # CLOCK header).
+func validName(s string) bool {
+	return s != "" && !strings.ContainsAny(s, " \t")
+}
+
 // ReadBench parses a ".bench" netlist written by WriteBench (or a plain
 // ISCAS'89 file) and maps every operator to the weakest library cell of
 // the matching kind. Plain ISCAS files have no clock information; a single
 // domain "clk" with the given default period is created on demand.
+//
+// ReadBench never panics on malformed input: structural problems
+// (duplicate or missing definitions, multiply-driven nets, combinational
+// cycles, unknown operators) are reported as errors.
 func ReadBench(r io.Reader, name string, lib *stdcell.Library, defaultPeriodPS float64) (*netlist.Netlist, error) {
 	n := netlist.New(name, lib)
 	nets := make(map[string]netlist.NetID)
@@ -133,10 +145,20 @@ func ReadBench(r io.Reader, name string, lib *stdcell.Library, defaultPeriodPS f
 		}
 		switch {
 		case strings.HasPrefix(line, "INPUT(") && strings.HasSuffix(line, ")"):
-			pin := line[len("INPUT(") : len(line)-1]
-			nets[pin] = n.AddPI(strings.TrimSpace(pin))
+			pin := strings.TrimSpace(line[len("INPUT(") : len(line)-1])
+			if !validName(pin) {
+				return nil, fmt.Errorf("bench line %d: bad input name %q", lineNo, pin)
+			}
+			if _, dup := nets[pin]; dup {
+				return nil, fmt.Errorf("bench line %d: INPUT(%s) already defined", lineNo, pin)
+			}
+			nets[pin] = n.AddPI(pin)
 		case strings.HasPrefix(line, "OUTPUT(") && strings.HasSuffix(line, ")"):
-			outputs = append(outputs, strings.TrimSpace(line[len("OUTPUT("):len(line)-1]))
+			o := strings.TrimSpace(line[len("OUTPUT(") : len(line)-1])
+			if !validName(o) {
+				return nil, fmt.Errorf("bench line %d: bad output name %q", lineNo, o)
+			}
+			outputs = append(outputs, o)
 		default:
 			eq := strings.Index(line, "=")
 			lp := strings.Index(line, "(")
@@ -145,17 +167,29 @@ func ReadBench(r io.Reader, name string, lib *stdcell.Library, defaultPeriodPS f
 				return nil, fmt.Errorf("bench line %d: cannot parse %q", lineNo, line)
 			}
 			out := strings.TrimSpace(line[:eq])
+			if !validName(out) {
+				return nil, fmt.Errorf("bench line %d: bad net name %q", lineNo, out)
+			}
 			op := strings.ToUpper(strings.TrimSpace(line[eq+1 : lp]))
 			var ins []string
 			for _, a := range strings.Split(line[lp+1:rp], ",") {
 				if a = strings.TrimSpace(a); a != "" {
+					if !validName(a) {
+						return nil, fmt.Errorf("bench line %d: bad net name %q", lineNo, a)
+					}
 					ins = append(ins, a)
 				}
 			}
 			if op == "DFF" || op == "SDFF" {
+				if len(ins) == 0 {
+					return nil, fmt.Errorf("bench line %d: %s with no data input", lineNo, op)
+				}
 				dom := "clk"
 				if strings.HasPrefix(comment, "domain=") {
 					dom = comment[len("domain="):]
+				}
+				if !validName(dom) {
+					return nil, fmt.Errorf("bench line %d: bad domain name %q", lineNo, dom)
 				}
 				ffs = append(ffs, ffLine{out: out, in: ins[0], domain: dom})
 			} else {
@@ -177,9 +211,22 @@ func ReadBench(r io.Reader, name string, lib *stdcell.Library, defaultPeriodPS f
 		"MUX": stdcell.KindMux2, "MUX2": stdcell.KindMux2,
 	}
 
+	// driveable returns the net for an output name, erroring (instead of
+	// letting AddCell panic) when the net already has a source: a second
+	// assignment to the same name, or an assignment to an INPUT.
+	driveable := func(s string) (netlist.NetID, error) {
+		id := getNet(s)
+		if nn := n.Net(id); nn.Driver != netlist.NoCell || nn.PI >= 0 {
+			return netlist.NoNet, fmt.Errorf("bench: net %q driven more than once", s)
+		}
+		return id, nil
+	}
 	for i, f := range ffs {
 		dom := getDomain(f.domain, defaultPeriodPS)
-		q := getNet(f.out)
+		q, err := driveable(f.out)
+		if err != nil {
+			return nil, err
+		}
 		d := getNet(f.in)
 		ff := n.AddCell(fmt.Sprintf("ff%d", i), lib.MustCell("DFFX1"),
 			[]netlist.NetID{d, clkNets[f.domain]}, q)
@@ -198,7 +245,11 @@ func ReadBench(r io.Reader, name string, lib *stdcell.Library, defaultPeriodPS f
 		for j, a := range gl.ins {
 			ins[j] = getNet(a)
 		}
-		n.AddCell(fmt.Sprintf("g%d", i), cell, ins, getNet(gl.out))
+		out, err := driveable(gl.out)
+		if err != nil {
+			return nil, err
+		}
+		n.AddCell(fmt.Sprintf("g%d", i), cell, ins, out)
 	}
 	for _, o := range outputs {
 		id, ok := nets[o]

@@ -1,0 +1,64 @@
+package circuitgen
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tpilayout/internal/stdcell"
+)
+
+// FuzzParseBench feeds arbitrary text to ReadBench and checks the two
+// contracts the rest of the repo relies on:
+//
+//  1. ReadBench never panics — malformed input must come back as an error.
+//  2. Anything that parses must survive a write→parse→write round trip
+//     with byte-identical output, i.e. WriteBench is a fixed point after
+//     one normalization pass.
+func FuzzParseBench(f *testing.F) {
+	seeds, err := filepath.Glob(filepath.Join("testdata", "*.bench"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, s := range seeds {
+		data, err := os.ReadFile(s)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+	// Hand-picked seeds steering the fuzzer toward the parser's edges:
+	// empty args, duplicate definitions, unknown ops, comment handling.
+	f.Add("INPUT(a)\nOUTPUT(a)\n")
+	f.Add("q = DFF(d) # domain=fast\n# CLOCK fast 5000\nINPUT(d)\nOUTPUT(q)\n")
+	f.Add("n = NAND()\n")
+	f.Add("x = DFF()\n")
+	f.Add("INPUT(a)\na = BUFF(a)\n")
+	f.Add("y = FROB(a, b)\n")
+	f.Add("# CLOCK clk\n# CLOCK clk 1 extra\ny = AND(a , b)\nINPUT(a)\nINPUT(b)\n")
+
+	lib := stdcell.Default()
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := ReadBench(strings.NewReader(src), "fuzz", lib, 10000)
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		var b1 bytes.Buffer
+		if err := WriteBench(&b1, n); err != nil {
+			t.Fatalf("WriteBench failed on accepted input: %v", err)
+		}
+		n2, err := ReadBench(bytes.NewReader(b1.Bytes()), "fuzz", lib, 10000)
+		if err != nil {
+			t.Fatalf("re-parse of written output failed: %v\noutput:\n%s", err, b1.String())
+		}
+		var b2 bytes.Buffer
+		if err := WriteBench(&b2, n2); err != nil {
+			t.Fatalf("second WriteBench failed: %v", err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Fatalf("write→parse→write not stable:\nfirst:\n%s\nsecond:\n%s", b1.String(), b2.String())
+		}
+	})
+}

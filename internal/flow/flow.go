@@ -36,6 +36,13 @@ type Config struct {
 	// ExcludeNets blocks nets from TPI (critical-path exclusion).
 	ExcludeNets map[netlist.NetID]bool
 
+	// Workers bounds the concurrency of the flow: Sweep fans one layout
+	// per worker, and Run forwards the value to the fault simulator's
+	// shard count (unless ATPG.Workers overrides it). 0 means GOMAXPROCS,
+	// 1 forces fully serial execution. Results are bit-identical for
+	// every value — parallelism only changes wall-clock time.
+	Workers int
+
 	Scan  scan.Options
 	Place place.Options
 	ATPG  atpg.Options
@@ -150,9 +157,12 @@ func Run(design *netlist.Netlist, cfg Config) (*Result, error) {
 	if !cfg.SkipATPG {
 		set := fault.NewUniverse(n)
 		aopt := cfg.ATPG
-		if aopt.Constraints == nil {
-			aopt.Constraints = map[netlist.NetID]int8{}
+		if aopt.Workers == 0 {
+			aopt.Workers = cfg.Workers
 		}
+		// Always work on a private copy: cfg may be shared by concurrent
+		// sweep workers, and the caller's map must not be mutated.
+		aopt.Constraints = cloneConstraints(cfg.ATPG.Constraints)
 		for k, v := range sc.CaptureConstraints() {
 			aopt.Constraints[k] = v
 		}
@@ -189,9 +199,7 @@ func Run(design *netlist.Netlist, cfg Config) (*Result, error) {
 
 		// Step 6: STA in application mode under the DfT constants.
 		sopt := cfg.STA
-		if sopt.Constraints == nil {
-			sopt.Constraints = map[netlist.NetID]int8{}
-		}
+		sopt.Constraints = cloneConstraints(cfg.STA.Constraints)
 		sopt.Constraints[sc.SE] = 0
 		for k, v := range tps.ApplicationConstraints() {
 			sopt.Constraints[k] = v
@@ -230,6 +238,17 @@ func Run(design *netlist.Netlist, cfg Config) (*Result, error) {
 
 	res.fillMetrics(tpCount, fillerArea)
 	return res, nil
+}
+
+// cloneConstraints returns a fresh constraints map seeded from m (which
+// may be nil). Flow steps extend the map with DfT constants; copying keeps
+// the caller's Config safe to share across concurrent runs.
+func cloneConstraints(m map[netlist.NetID]int8) map[netlist.NetID]int8 {
+	out := make(map[netlist.NetID]int8, len(m)+8)
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
 }
 
 // upsizeCriticalCells swaps every combinational cell on a critical path

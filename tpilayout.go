@@ -20,6 +20,9 @@ package tpilayout
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"tpilayout/internal/circuitgen"
 	"tpilayout/internal/flow"
@@ -66,7 +69,7 @@ func SpecByName(name string) (Spec, error) {
 	case "p26909", "p26909c", "dsp":
 		return DSPCoreClass(), nil
 	}
-	return Spec{}, fmt.Errorf("tpilayout: unknown circuit %q (want s38417c, wctrl1, or p26909c)", name)
+	return Spec{}, fmt.Errorf("tpilayout: unknown circuit %q (want s38417, s38417c, circuit1, wctrl1, wireless, p26909, p26909c, or dsp)", name)
 }
 
 // Generate builds the netlist for a circuit spec.
@@ -102,16 +105,68 @@ func ExperimentConfig(circuit string) Config {
 // Sweep runs the flow for each test-point percentage and returns one
 // metrics row per layout, in order. Each layout is generated from scratch
 // (separate floorplans), exactly as the paper does.
+//
+// The layouts are independent, so Sweep fans them out over up to
+// cfg.Workers goroutines (GOMAXPROCS when 0), each running the full
+// Figure 2 flow on its own clone of design. Results are reassembled in
+// input order and are bit-identical to a serial (Workers: 1) run; only
+// the wall-clock time changes.
 func Sweep(design *Netlist, cfg Config, tpPercents []float64) ([]Metrics, error) {
-	var rows []Metrics
-	for _, pct := range tpPercents {
-		c := cfg
-		c.TPPercent = pct
-		r, err := flow.Run(design, c)
-		if err != nil {
-			return nil, fmt.Errorf("tpilayout: sweep at %.1f%%: %w", pct, err)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tpPercents) {
+		workers = len(tpPercents)
+	}
+	if workers <= 1 {
+		var rows []Metrics
+		for _, pct := range tpPercents {
+			c := cfg
+			c.TPPercent = pct
+			r, err := flow.Run(design, c)
+			if err != nil {
+				return nil, fmt.Errorf("tpilayout: sweep at %.1f%%: %w", pct, err)
+			}
+			rows = append(rows, r.Metrics)
 		}
-		rows = append(rows, r.Metrics)
+		return rows, nil
+	}
+
+	rows := make([]Metrics, len(tpPercents))
+	errs := make([]error, len(tpPercents))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(tpPercents) {
+					return
+				}
+				c := cfg
+				c.TPPercent = tpPercents[i]
+				// flow.Run works on its own deep copy of design; cloning
+				// here as well keeps the shared design strictly read-only
+				// inside the worker.
+				r, err := flow.Run(design.Clone(), c)
+				if err != nil {
+					errs[i] = fmt.Errorf("tpilayout: sweep at %.1f%%: %w", tpPercents[i], err)
+					continue
+				}
+				rows[i] = r.Metrics
+			}
+		}()
+	}
+	wg.Wait()
+	// Deterministic error reporting: the first failing level by input
+	// order wins, matching what a serial run would have returned.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return rows, nil
 }

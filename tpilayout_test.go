@@ -1,18 +1,47 @@
 package tpilayout
 
 import (
+	"reflect"
+	"runtime"
 	"strings"
 	"testing"
 )
 
 func TestSpecByName(t *testing.T) {
-	for _, name := range []string{"s38417c", "s38417", "wctrl1", "circuit1", "p26909", "dsp"} {
-		if _, err := SpecByName(name); err != nil {
-			t.Errorf("SpecByName(%q): %v", name, err)
+	// Every accepted alias, mapped to the profile it must resolve to.
+	cases := []struct {
+		alias string
+		want  Spec
+	}{
+		{"s38417", S38417Class()},
+		{"s38417c", S38417Class()},
+		{"circuit1", WirelessCtrlClass()},
+		{"wctrl1", WirelessCtrlClass()},
+		{"wireless", WirelessCtrlClass()},
+		{"p26909", DSPCoreClass()},
+		{"p26909c", DSPCoreClass()},
+		{"dsp", DSPCoreClass()},
+	}
+	for _, tc := range cases {
+		got, err := SpecByName(tc.alias)
+		if err != nil {
+			t.Errorf("SpecByName(%q): %v", tc.alias, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("SpecByName(%q) = %s profile, want %s", tc.alias, got.Name, tc.want.Name)
 		}
 	}
-	if _, err := SpecByName("c17"); err == nil {
-		t.Error("SpecByName accepted an unknown circuit")
+	_, err := SpecByName("c17")
+	if err == nil {
+		t.Fatal("SpecByName accepted an unknown circuit")
+	}
+	// The error must list every accepted alias, so a typo points the user
+	// at the full menu.
+	for _, tc := range cases {
+		if !strings.Contains(err.Error(), tc.alias) {
+			t.Errorf("SpecByName error %q does not mention accepted alias %q", err, tc.alias)
+		}
 	}
 }
 
@@ -65,25 +94,35 @@ func TestPublicAPISweep(t *testing.T) {
 	}
 }
 
+// TestSweepDeterministic runs the same sweep (ATPG included, so the
+// fault-simulation shards are exercised too) under several worker counts
+// and demands identical Metrics slices: the concurrency layer must be
+// invisible in the results. CI runs this under -race, which also makes it
+// the data-race canary for the whole parallel path.
 func TestSweepDeterministic(t *testing.T) {
 	design, err := Generate(S38417Class().Scale(0.04), DefaultLibrary())
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg := ExperimentConfig("s38417c")
-	cfg.SkipATPG = true
-	a, err := Sweep(design, cfg, []float64{0, 3})
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := Sweep(design, cfg, []float64{0, 3})
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := range a {
-		if a[i].CoreArea != b[i].CoreArea || a[i].LWires != b[i].LWires ||
-			a[i].Timing[0].TcpPS != b[i].Timing[0].TcpPS {
-			t.Fatalf("sweep row %d not deterministic: %+v vs %+v", i, a[i], b[i])
+	levels := []float64{0, 3}
+
+	counts := []int{1, 2, runtime.GOMAXPROCS(0)}
+	var ref []Metrics
+	for _, w := range counts {
+		c := cfg
+		c.Workers = w
+		rows, err := Sweep(design, c, levels)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if ref == nil {
+			ref = rows
+			continue
+		}
+		if !reflect.DeepEqual(ref, rows) {
+			t.Fatalf("sweep with %d workers diverges from %d workers:\n%+v\nvs\n%+v",
+				w, counts[0], rows, ref)
 		}
 	}
 }
