@@ -4,17 +4,27 @@
 //
 // Usage:
 //
-//	tpiflow -circuit s38417c -scale 0.25 -tp 1 -workers 4
+//	tpiflow -circuit s38417c -scale 0.25 -tp 1 -workers 4 -timeout 2m
 //
 // -workers bounds the fault-simulation shard count (0 = GOMAXPROCS,
 // 1 = serial); the printed metrics are identical for every value.
+//
+// The run is supervised: -timeout bounds the wall clock and Ctrl-C
+// (SIGINT) cancels cleanly — either lands within one work unit of the
+// flow, which exits with the stage that was cut short. -atpg-budget
+// instead bounds only the ATPG effort: an expiring budget degrades the
+// run (remaining faults are marked aborted, metrics flagged truncated)
+// rather than failing it.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"time"
 
 	"tpilayout"
 )
@@ -27,7 +37,17 @@ func main() {
 	tp := flag.Float64("tp", 1.0, "test points as a percentage of flip-flops")
 	skipATPG := flag.Bool("skip-atpg", false, "run only the physical flow (no pattern generation)")
 	workers := flag.Int("workers", 0, "fault-simulation shard count (0 = GOMAXPROCS, 1 = serial)")
+	timeout := flag.Duration("timeout", 0, "cancel the run after this long (0 = no limit)")
+	atpgBudget := flag.Duration("atpg-budget", 0, "ATPG effort budget; expiry truncates the run instead of failing it (0 = no limit)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	spec, err := tpilayout.SpecByName(*circuit)
 	if err != nil {
@@ -44,7 +64,10 @@ func main() {
 	cfg.TPPercent = *tp
 	cfg.SkipATPG = *skipATPG
 	cfg.Workers = *workers
-	res, err := tpilayout.Run(design, cfg)
+	if *atpgBudget > 0 {
+		cfg.Deadline = time.Now().Add(*atpgBudget)
+	}
+	res, err := tpilayout.RunContext(ctx, design, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,6 +79,9 @@ func main() {
 	if !*skipATPG {
 		fmt.Printf("test: %d faults, FC %.2f%%, FE %.2f%%, %d patterns, TDV %d bits, TAT %d cycles\n",
 			m.Faults, m.FC, m.FE, m.Patterns, m.TDV, m.TAT)
+		if m.Truncated {
+			fmt.Println("note: ATPG budget expired — remaining faults aborted, FC/FE reflect the achieved detections")
+		}
 	}
 	fmt.Printf("area: %d rows x %.1f um, core %.0f um2 (filler %.2f%%), chip %.0f um2, wires %.0f um\n",
 		m.Rows, m.LRows/float64(m.Rows), m.CoreArea, m.FillerPct, m.ChipArea, m.LWires)

@@ -4,20 +4,29 @@
 //
 // Usage:
 //
-//	tpitables -circuits s38417c,wctrl1,p26909c -scale 0.25 -table all -workers 0
+//	tpitables -circuits s38417c,wctrl1,p26909c -scale 0.25 -table all -workers 0 -timeout 10m
 //
 // The six layouts of a sweep are built concurrently on up to -workers
 // goroutines (0 = GOMAXPROCS, 1 = serial); the tables are byte-identical
 // for every worker count.
+//
+// Sweeps run under supervision: -timeout bounds the wall clock and
+// Ctrl-C (SIGINT) cancels cleanly. Either way the sweep degrades rather
+// than vanishes — completed levels are printed as partial tables and
+// every failed or cancelled level is marked with a "!! ... FAILED" line;
+// the exit status is non-zero if any level failed.
 //
 // At -scale 1 the circuits have their full published sizes; smaller
 // scales keep the structure (and the trends) while running much faster.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
@@ -33,7 +42,16 @@ func main() {
 	table := flag.String("table", "all", "which table to print: 1, 2, 3, or all")
 	levels := flag.String("levels", "0,1,2,3,4,5", "test-point percentages to sweep")
 	workers := flag.Int("workers", 0, "sweep concurrency (0 = GOMAXPROCS, 1 = serial)")
+	timeout := flag.Duration("timeout", 0, "cancel the remaining sweep after this long (0 = no limit); completed levels still print")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	var pcts []float64
 	for _, s := range strings.Split(*levels, ",") {
@@ -44,6 +62,7 @@ func main() {
 		pcts = append(pcts, v)
 	}
 
+	anyFailed := false
 	for _, name := range strings.Split(*circuits, ",") {
 		name = strings.TrimSpace(name)
 		spec, err := tpilayout.SpecByName(name)
@@ -61,19 +80,30 @@ func main() {
 		cfg.SkipATPG = *table == "2" || *table == "3"
 		cfg.Workers = *workers
 		start := time.Now()
-		rows, err := tpilayout.Sweep(design, cfg, pcts)
+		results, err := tpilayout.SweepPartial(ctx, design, cfg, pcts)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("== %s (scale %.2f, %d layouts, %v) ==\n\n", name, *scale, len(rows), time.Since(start).Round(time.Second))
-		if *table == "1" || *table == "all" {
-			fmt.Println(tpilayout.FormatTable1(rows))
+		rows := tpilayout.CompletedMetrics(results)
+		fmt.Printf("== %s (scale %.2f, %d/%d layouts, %v) ==\n\n",
+			name, *scale, len(rows), len(results), time.Since(start).Round(time.Second))
+		if len(rows) > 0 {
+			if *table == "1" || *table == "all" {
+				fmt.Println(tpilayout.FormatTable1(rows))
+			}
+			if *table == "2" || *table == "all" {
+				fmt.Println(tpilayout.FormatTable2(rows))
+			}
+			if *table == "3" || *table == "all" {
+				fmt.Println(tpilayout.FormatTable3(rows))
+			}
 		}
-		if *table == "2" || *table == "all" {
-			fmt.Println(tpilayout.FormatTable2(rows))
+		if failed := tpilayout.FormatSweepFailures(results); failed != "" {
+			anyFailed = true
+			fmt.Print(failed)
 		}
-		if *table == "3" || *table == "all" {
-			fmt.Println(tpilayout.FormatTable3(rows))
-		}
+	}
+	if anyFailed {
+		os.Exit(1)
 	}
 }

@@ -1,13 +1,16 @@
 package atpg
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"math/rand"
 	"sort"
+	"time"
 
 	"tpilayout/internal/fault"
 	"tpilayout/internal/netlist"
+	"tpilayout/internal/supervise"
 	"tpilayout/internal/testability"
 )
 
@@ -48,6 +51,14 @@ type Options struct {
 	SecondaryLimit int
 	// MaxPatterns aborts the run if the pattern count explodes (default 1<<20).
 	MaxPatterns int
+	// Deadline bounds the wall-clock effort of the run. Past it, the run
+	// stops random and deterministic generation at the next fault-class
+	// boundary, marks every remaining undetected class Aborted, and
+	// completes normally with Result.Truncated set — the industrial
+	// abort semantics, where a budget-bound run lowers FE but never
+	// fails. The zero value means no deadline. Contrast with context
+	// cancellation, which aborts the run with an error.
+	Deadline time.Time
 }
 
 // Pattern is one fully-specified test pattern: one 0/1 value per view
@@ -64,6 +75,11 @@ type Result struct {
 	UntestableClasses int
 	AbortedClasses    int
 
+	// Truncated reports that Options.Deadline expired before generation
+	// finished; the patterns and fault statuses are valid but cover only
+	// what was achieved within the budget.
+	Truncated bool
+
 	// Pattern provenance after compaction.
 	RandomKept        int // surviving random-phase patterns
 	DeterministicKept int // surviving PODEM patterns
@@ -72,6 +88,21 @@ type Result struct {
 // Run generates a compact stuck-at test set for the capture-mode view of
 // n, updating the fault statuses in set.
 func Run(n *netlist.Netlist, set *fault.Set, opt Options) (*Result, error) {
+	return RunContext(context.Background(), n, set, opt)
+}
+
+// RunContext is Run under supervision: cancelling the context stops the
+// run within one work unit (one PODEM fault, one random round, one
+// fault-simulation chunk) and returns the context's error; a panic on
+// any goroutine of the run (including fault-simulation shards) is
+// captured and returned as a *supervise.PanicError instead of crashing
+// the process.
+func RunContext(ctx context.Context, n *netlist.Netlist, set *fault.Set, opt Options) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, supervise.AsPanicError(r)
+		}
+	}()
 	if opt.BacktrackLimit <= 0 {
 		opt.BacktrackLimit = 64
 	}
@@ -106,9 +137,21 @@ func Run(n *netlist.Netlist, set *fault.Set, opt Options) (*Result, error) {
 	})
 
 	gen := newPodem(v, ta, opt.BacktrackLimit)
-	pool := newSimPool(v, opt.Workers)
+	pool := newSimPool(ctx, v, opt.Workers)
 	rng := rand.New(rand.NewSource(opt.FillSeed))
-	res := &Result{View: v, Faults: set}
+	res = &Result{View: v, Faults: set}
+
+	// expired latches once the deadline passes: generation stops at the
+	// next fault-class boundary and the run completes truncated.
+	expired := func() bool {
+		if res.Truncated {
+			return true
+		}
+		if !opt.Deadline.IsZero() && !time.Now().Before(opt.Deadline) {
+			res.Truncated = true
+		}
+		return res.Truncated
+	}
 
 	// detWords is reused across drop passes; detWords[i] belongs to
 	// reps[i], which is what keeps the parallel merge deterministic.
@@ -138,7 +181,10 @@ func Run(n *netlist.Netlist, set *fault.Set, opt Options) (*Result, error) {
 		opt.RandomRounds = 48
 	}
 	lowRounds := 0
-	for round := 0; round < opt.RandomRounds && lowRounds < 2; round++ {
+	for round := 0; round < opt.RandomRounds && lowRounds < 2 && !expired(); round++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 		batch := pool.NewBatch()
 		cube := make([]int8, len(v.Sources))
 		for bit := 0; bit < 64; bit++ {
@@ -165,6 +211,15 @@ func Run(n *netlist.Netlist, set *fault.Set, opt Options) (*Result, error) {
 			for ri, r := range reps {
 				if set.Status(r) != fault.Undetected {
 					continue
+				}
+				// One PODEM fault is the cancellation work unit: a cancel
+				// lands before the next target, and an expired deadline
+				// truncates the pass at a class boundary.
+				if cerr := ctx.Err(); cerr != nil {
+					return cerr
+				}
+				if expired() {
+					break
 				}
 				cube, g := gen.generate(set.Faults[r])
 				switch g {
@@ -202,7 +257,7 @@ func Run(n *netlist.Netlist, set *fault.Set, opt Options) (*Result, error) {
 	if err := runPass(opt.BacktrackLimit); err != nil {
 		return nil, err
 	}
-	if opt.RetryFactor > 1 {
+	if opt.RetryFactor > 1 && !expired() {
 		// Second chance for aborted faults with a deeper search.
 		for _, r := range reps {
 			if set.Status(r) == fault.Aborted {
@@ -219,7 +274,7 @@ func Run(n *netlist.Netlist, set *fault.Set, opt Options) (*Result, error) {
 	// faults each. Re-target them deterministically (they are easy faults,
 	// and dynamic compaction packs independent easy faults densely); the
 	// random patterns then survive compaction only as a last resort.
-	if randomGenerated > 0 {
+	if randomGenerated > 0 && !expired() {
 		det := pool.coveredBy(res.Patterns[randomGenerated:], set, reps)
 		var fallback []int32
 		for _, r := range reps {
@@ -240,6 +295,20 @@ func Run(n *netlist.Netlist, set *fault.Set, opt Options) (*Result, error) {
 		}
 	}
 
+	// An expired deadline converts every class the run never got to into
+	// an Aborted class: like an industrial abort, it lowers FE (and FC for
+	// what the random phase missed) but the Result stays fully valid.
+	if expired() {
+		for _, r := range reps {
+			if set.Status(r) == fault.Undetected {
+				set.SetStatus(r, fault.Aborted)
+			}
+		}
+	}
+
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
+	}
 	if !opt.NoCompact {
 		var kept []bool
 		res.Patterns, kept = compactReverse(pool, set, reps, res.Patterns)
@@ -253,6 +322,13 @@ func Run(n *netlist.Netlist, set *fault.Set, opt Options) (*Result, error) {
 				res.DeterministicKept++
 			}
 		}
+	}
+
+	// A cancel that landed inside the compaction sharding leaves partial
+	// detect words; the run must fail rather than return a miscompacted
+	// set.
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
 	}
 
 	for _, r := range reps {

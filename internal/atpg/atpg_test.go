@@ -1,6 +1,7 @@
 package atpg
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -332,7 +333,7 @@ func TestSimPoolShardsMatchSerial(t *testing.T) {
 	}
 	set := fault.NewUniverse(n)
 	serial := NewFaultSim(v)
-	pool := newSimPool(v, 3)
+	pool := newSimPool(context.Background(), v, 3)
 	rng := rand.New(rand.NewSource(11))
 
 	reps := set.Reps()

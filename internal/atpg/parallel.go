@@ -1,11 +1,13 @@
 package atpg
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"tpilayout/internal/fault"
+	"tpilayout/internal/supervise"
 )
 
 // simPool shards fault-parallel simulation across a set of FaultSim
@@ -15,18 +17,24 @@ import (
 //
 // Every result is merged by fault index, never by completion order, so a
 // pool of any size produces bit-identical output to a serial FaultSim.
+//
+// The pool is supervised: its context cancels shard loops at chunk
+// granularity, and a panic on a shard goroutine is captured (with that
+// goroutine's stack) and re-raised on the supervising goroutine instead
+// of crashing the process — sibling shards drain and stop.
 type simPool struct {
+	ctx  context.Context
 	sims []*FaultSim
 }
 
 // newSimPool builds a pool of workers shards over the view. workers <= 0
 // selects GOMAXPROCS; workers == 1 degenerates to a serial simulator with
 // no goroutine overhead.
-func newSimPool(v *View, workers int) *simPool {
+func newSimPool(ctx context.Context, v *View, workers int) *simPool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	p := &simPool{sims: make([]*FaultSim, workers)}
+	p := &simPool{ctx: ctx, sims: make([]*FaultSim, workers)}
 	p.sims[0] = NewFaultSim(v)
 	for i := 1; i < workers; i++ {
 		p.sims[i] = p.sims[0].NewShard()
@@ -44,9 +52,11 @@ func (p *simPool) SimGood(b *Batch) { p.sims[0].SimGood(b) }
 // detectEach fills out[i] with the detection word of fault class reps[i]
 // against the last SimGood batch, sharding the fault list across the
 // pool. Classes rejected by include get 0. include must not mutate
-// anything (it is called concurrently); out must have len(reps).
+// anything (it is called concurrently); out must have len(reps). When the
+// pool's context is cancelled mid-call, out is left partially filled —
+// the caller must observe ctx.Err() before using it.
 func (p *simPool) detectEach(reps []int32, set *fault.Set, b *Batch, earlyExit bool, include func(int32) bool, out []uint64) {
-	parFor(len(reps), len(p.sims), func(shard, i int) {
+	parFor(p.ctx, len(reps), len(p.sims), func(shard, i int) {
 		r := reps[i]
 		if include(r) {
 			out[i] = p.sims[shard].Detects(set.Faults[r], b, earlyExit)
@@ -59,26 +69,53 @@ func (p *simPool) detectEach(reps []int32, set *fault.Set, b *Batch, earlyExit b
 // parFor runs fn(shard, i) for every i in [0, n), distributing chunks of
 // iterations over the given number of goroutines. Each shard index is
 // held by exactly one goroutine, so fn may freely use per-shard state.
-func parFor(n, workers int, fn func(shard, i int)) {
+//
+// Supervision semantics: a nil-able ctx cancels the loop between chunks
+// (remaining iterations are skipped — the caller is expected to check
+// ctx.Err() and discard the partial output). If fn panics on a worker
+// goroutine, the panic is recovered there (capturing that goroutine's
+// stack), the remaining workers stop at their next chunk boundary, and
+// the first panic is re-raised on the calling goroutine as a
+// *supervise.PanicError once all workers have drained — one poisoned
+// work unit never kills the process or deadlocks siblings.
+func parFor(ctx context.Context, n, workers int, fn func(shard, i int)) {
 	if workers > n {
 		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(0, i)
-		}
-		return
 	}
 	// Chunked work stealing: big enough to amortize the atomic, small
 	// enough to balance the wildly uneven per-fault propagation cost.
 	const chunk = 32
+	if workers <= 1 {
+		for lo := 0; lo < n; lo += chunk {
+			if ctx != nil && ctx.Err() != nil {
+				return
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				fn(0, i)
+			}
+		}
+		return
+	}
 	var next atomic.Int64
+	var panicked atomic.Pointer[supervise.PanicError]
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(shard int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.CompareAndSwap(nil, supervise.AsPanicError(r))
+				}
+			}()
 			for {
+				if panicked.Load() != nil || (ctx != nil && ctx.Err() != nil) {
+					return
+				}
 				lo := int(next.Add(chunk)) - chunk
 				if lo >= n {
 					return
@@ -94,4 +131,7 @@ func parFor(n, workers int, fn func(shard, i int)) {
 		}(w)
 	}
 	wg.Wait()
+	if pe := panicked.Load(); pe != nil {
+		panic(pe)
+	}
 }

@@ -1,0 +1,127 @@
+package atpg
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tpilayout/internal/fault"
+	"tpilayout/internal/supervise"
+)
+
+// TestParForShardPanicIsolated: a panic on one shard goroutine must not
+// kill the process or deadlock the siblings; it resurfaces on the
+// supervising goroutine as a *PanicError carrying the shard's stack.
+func TestParForShardPanicIsolated(t *testing.T) {
+	before := runtime.NumGoroutine()
+	var pe *supervise.PanicError
+	func() {
+		defer func() { pe = supervise.AsPanicError(recover()) }()
+		parFor(context.Background(), 1000, 4, func(shard, i int) {
+			if i == 333 {
+				panic("shard blew up")
+			}
+		})
+	}()
+	if pe == nil || pe.Value != "shard blew up" {
+		t.Fatalf("recovered %+v, want the shard panic", pe)
+	}
+	if !strings.Contains(string(pe.Stack), "parFor") {
+		t.Errorf("panic stack does not show the shard frame:\n%s", pe.Stack)
+	}
+	waitForGoroutines(t, before)
+}
+
+// TestParForCancelStopsEarly: cancellation between chunks must skip the
+// remaining iterations on every shard.
+func TestParForCancelStopsEarly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	const n = 1 << 20
+	parFor(ctx, n, 4, func(shard, i int) {
+		if ran.Add(1) == 100 {
+			cancel()
+		}
+	})
+	if got := ran.Load(); got >= n {
+		t.Fatalf("cancelled parFor still ran all %d iterations", got)
+	}
+}
+
+// TestRunContextCancelled: cancelling mid-ATPG must abort within one work
+// unit and report the context's error.
+func TestRunContextCancelled(t *testing.T) {
+	n := randCircuit(t, 3, 24, 600)
+	set := fault.NewUniverse(n)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: the run must not do any real work
+	_, err := RunContext(ctx, n, set, Options{Workers: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestDeadlineTruncatesRun: an already-expired deadline must degrade, not
+// fail — the Result is valid, Truncated, and every class the run never
+// reached is Aborted (lower FE, like an industrial abort).
+func TestDeadlineTruncatesRun(t *testing.T) {
+	n := randCircuit(t, 5, 16, 400)
+	set := fault.NewUniverse(n)
+	res, err := Run(n, set, Options{Deadline: time.Now().Add(-time.Second)})
+	if err != nil {
+		t.Fatalf("expired deadline must truncate, not fail: %v", err)
+	}
+	if !res.Truncated {
+		t.Fatal("Result.Truncated not set")
+	}
+	counts := set.Counts()
+	if counts[fault.Undetected] != 0 {
+		t.Errorf("%d faults left Undetected; truncation must mark them Aborted", counts[fault.Undetected])
+	}
+	if counts[fault.Detected] != 0 {
+		t.Errorf("a zero-budget run claims %d detections", counts[fault.Detected])
+	}
+	fc, fe := set.Coverage()
+	if fc != 0 || fe != 0 {
+		t.Errorf("zero-budget FC/FE = %.2f/%.2f, want 0/0", fc, fe)
+	}
+}
+
+// TestDeadlineFarFutureMatchesUnbounded: a generous deadline must be
+// invisible — bit-identical patterns and statuses to an unbounded run.
+func TestDeadlineFarFutureMatchesUnbounded(t *testing.T) {
+	n := randCircuit(t, 9, 12, 250)
+	setA := fault.NewUniverse(n)
+	resA, err := Run(n, setA, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setB := fault.NewUniverse(n)
+	resB, err := Run(n, setB, Options{Deadline: time.Now().Add(time.Hour)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resB.Truncated {
+		t.Fatal("far-future deadline truncated the run")
+	}
+	if len(resA.Patterns) != len(resB.Patterns) {
+		t.Fatalf("pattern counts differ: %d vs %d", len(resA.Patterns), len(resB.Patterns))
+	}
+}
+
+// waitForGoroutines lets pool goroutines drain, then asserts no leak.
+func waitForGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("goroutine leak: %d before, %d after", before, runtime.NumGoroutine())
+}

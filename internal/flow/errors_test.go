@@ -1,9 +1,11 @@
 package flow
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
+	"tpilayout/internal/netlist"
 	"tpilayout/internal/scan"
 )
 
@@ -34,10 +36,20 @@ func TestFlowRejectsOverfullTPBudget(t *testing.T) {
 	n := design(t)
 	cfg := Config{Scan: scan.Options{MaxChainLength: 50}, SkipATPG: true}
 	cfg.Place.TargetUtilization = 0.9
-	cfg.TPPercent = 100000 // more test points than insertable nets
+	// A valid TP budget with every net excluded: TPI runs out of
+	// insertable nets and must fail at its own stage.
+	cfg.TPPercent = 50
+	cfg.ExcludeNets = map[netlist.NetID]bool{}
+	for id := range n.Nets {
+		cfg.ExcludeNets[netlist.NetID(id)] = true
+	}
 	_, err := Run(n, cfg)
 	if err == nil || !strings.Contains(err.Error(), "TPI") {
 		t.Fatalf("err = %v, want TPI-stage failure", err)
+	}
+	var se *StageError
+	if !errors.As(err, &se) || se.Stage != StageTPI {
+		t.Fatalf("err = %#v, want *StageError with Stage %q", err, StageTPI)
 	}
 }
 

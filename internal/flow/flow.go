@@ -9,11 +9,19 @@
 //
 // One Run produces one layout plus every number the paper's Tables 1–3
 // report for it.
+//
+// Execution is supervised: RunContext honors context cancellation with
+// checkpoints inside every long stage, every failure is reported as a
+// typed *StageError, and a panic anywhere in the flow (including on a
+// fault-simulation shard goroutine) is converted into a StageError
+// carrying the captured stack instead of crashing the process.
 package flow
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"tpilayout/internal/atpg"
 	"tpilayout/internal/cts"
@@ -24,6 +32,7 @@ import (
 	"tpilayout/internal/route"
 	"tpilayout/internal/scan"
 	"tpilayout/internal/sta"
+	"tpilayout/internal/supervise"
 	"tpilayout/internal/testdata"
 	"tpilayout/internal/tpi"
 )
@@ -42,6 +51,22 @@ type Config struct {
 	// 1 forces fully serial execution. Results are bit-identical for
 	// every value — parallelism only changes wall-clock time.
 	Workers int
+
+	// Deadline bounds the ATPG effort of the run (forwarded to
+	// ATPG.Deadline when that is zero): past it, deterministic pattern
+	// generation stops, the remaining fault classes are marked aborted,
+	// and the run completes with Result.Truncated set — FC/FE report what
+	// was actually achieved, mirroring industrial abort semantics. The
+	// zero value means no deadline. Deadline degrades the result;
+	// cancelling the context aborts the run with an error.
+	Deadline time.Time
+
+	// StageHook, when non-nil, is called at the entry of every flow stage
+	// with the stage name and the run's TP percentage. It serves
+	// progress reporting and instrumentation; a panicking hook exercises
+	// the same isolation path as a panicking stage (the run returns a
+	// StageError, the process survives).
+	StageHook func(stage string, tpPercent float64)
 
 	Scan  scan.Options
 	Place place.Options
@@ -77,6 +102,11 @@ type Result struct {
 	Par     *extract.Parasitics
 	STA     *sta.Result
 
+	// Truncated reports that the ATPG deadline expired before pattern
+	// generation finished: the run is complete and valid, but FC/FE
+	// cover only the detections achieved within the budget.
+	Truncated bool
+
 	Metrics Metrics
 }
 
@@ -94,6 +124,10 @@ type Metrics struct {
 	Patterns int
 	TDV      int64 // bits
 	TAT      int64 // cycles
+
+	// Truncated mirrors Result.Truncated: the ATPG deadline expired and
+	// the Table 1 numbers reflect a budget-bounded run.
+	Truncated bool
 
 	// Table 2: silicon area.
 	Cells       int
@@ -126,28 +160,70 @@ type DomainTiming struct {
 
 // Run executes the six flow steps on a fresh clone of design.
 func Run(design *netlist.Netlist, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), design, cfg)
+}
+
+// RunContext is Run under supervision: the context cancels the run
+// between (and inside) stages, every error is a *StageError naming the
+// failing stage, and panics are isolated into errors. A cancellation
+// lands within one work unit (one PODEM fault, one bisection cut, one
+// routed net), not one flow.
+func RunContext(ctx context.Context, design *netlist.Netlist, cfg Config) (res *Result, err error) {
+	if verr := cfg.Validate(); verr != nil {
+		return nil, newStageError(StageConfig, cfg.TPPercent, verr)
+	}
+
+	// stage tracks the currently-running step so both the deferred panic
+	// handler and the cancellation checkpoints can name it.
+	stage := StageConfig
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, newStageError(stage, cfg.TPPercent, supervise.AsPanicError(r))
+		}
+	}()
+	enter := func(s string) error {
+		stage = s
+		if cfg.StageHook != nil {
+			cfg.StageHook(s, cfg.TPPercent)
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return newStageError(s, cfg.TPPercent, cerr)
+		}
+		return nil
+	}
+	fail := func(e error) error { return newStageError(stage, cfg.TPPercent, e) }
+
 	n := design.Clone()
-	res := &Result{Netlist: n}
+	res = &Result{Netlist: n}
 	res.Metrics.Circuit = n.Name
 
 	// Step 1: TPI and scan insertion.
+	if err := enter(StageTPI); err != nil {
+		return nil, err
+	}
 	ffBefore := n.NumFlipFlops()
 	tpCount := int(math.Round(cfg.TPPercent / 100 * float64(ffBefore)))
 	tps, err := tpi.Insert(n, tpi.Options{Count: tpCount, Exclude: cfg.ExcludeNets})
 	if err != nil {
-		return nil, fmt.Errorf("flow: TPI: %w", err)
+		return nil, fail(err)
 	}
 	res.TPs = tps
+	if err := enter(StageScan); err != nil {
+		return nil, err
+	}
 	sc, err := scan.Insert(n, tps, cfg.Scan)
 	if err != nil {
-		return nil, fmt.Errorf("flow: scan: %w", err)
+		return nil, fail(err)
 	}
 	res.Scan = sc
 
 	// Step 2: floorplanning and placement.
-	pl, err := place.Place(n, cfg.Place)
+	if err := enter(StagePlace); err != nil {
+		return nil, err
+	}
+	pl, err := place.PlaceContext(ctx, n, cfg.Place)
 	if err != nil {
-		return nil, fmt.Errorf("flow: place: %w", err)
+		return nil, fail(err)
 	}
 	res.Place = pl
 
@@ -155,10 +231,16 @@ func Run(design *netlist.Netlist, cfg Config) (*Result, error) {
 	// updated netlist.
 	scan.Reorder(n, sc, pl.Pos)
 	if !cfg.SkipATPG {
+		if err := enter(StageATPG); err != nil {
+			return nil, err
+		}
 		set := fault.NewUniverse(n)
 		aopt := cfg.ATPG
 		if aopt.Workers == 0 {
 			aopt.Workers = cfg.Workers
+		}
+		if aopt.Deadline.IsZero() {
+			aopt.Deadline = cfg.Deadline
 		}
 		// Always work on a private copy: cfg may be shared by concurrent
 		// sweep workers, and the caller's map must not be mutated.
@@ -169,44 +251,64 @@ func Run(design *netlist.Netlist, cfg Config) (*Result, error) {
 		for k, v := range tps.CaptureConstraints() {
 			aopt.Constraints[k] = v
 		}
-		ar, err := atpg.Run(n, set, aopt)
+		ar, err := atpg.RunContext(ctx, n, set, aopt)
 		if err != nil {
-			return nil, fmt.Errorf("flow: atpg: %w", err)
+			return nil, fail(err)
 		}
 		// Remaining undetected faults on the DfT infrastructure are
 		// covered by the scan shift and flush tests.
 		set.CreditScan(func(f fault.Fault) bool { return onDfT(n, f) })
 		res.ATPG = ar
 		res.Faults = set
+		res.Truncated = ar.Truncated
 	}
 
 	// Steps 4–6 (and re-runs of step 2) live in physical(), so that
 	// timing-optimization design iterations can redo the whole layout.
 	physical := func() (float64, error) {
+		if err := enter(StageCTS); err != nil {
+			return 0, err
+		}
 		ct, err := cts.Insert(n, res.Place, cfg.CTS)
 		if err != nil {
-			return 0, fmt.Errorf("flow: cts: %w", err)
+			return 0, fail(err)
 		}
 		res.CTS = ct
+		if err := enter(StageECO); err != nil {
+			return 0, err
+		}
 		if err := res.Place.ECO(); err != nil {
-			return 0, fmt.Errorf("flow: eco: %w", err)
+			return 0, fail(err)
 		}
 		fillerArea := res.Place.InsertFillers()
-		res.Route = route.Route(res.Place, cfg.Route)
+		if err := enter(StageRoute); err != nil {
+			return 0, err
+		}
+		rt, err := route.RouteContext(ctx, res.Place, cfg.Route)
+		if err != nil {
+			return 0, fail(err)
+		}
+		res.Route = rt
 
 		// Step 5: extraction.
+		if err := enter(StageExtract); err != nil {
+			return 0, err
+		}
 		res.Par = extract.Extract(n, res.Route)
 
 		// Step 6: STA in application mode under the DfT constants.
+		if err := enter(StageSTA); err != nil {
+			return 0, err
+		}
 		sopt := cfg.STA
 		sopt.Constraints = cloneConstraints(cfg.STA.Constraints)
 		sopt.Constraints[sc.SE] = 0
 		for k, v := range tps.ApplicationConstraints() {
 			sopt.Constraints[k] = v
 		}
-		st, err := sta.Analyze(n, res.Par, sopt)
+		st, err := sta.AnalyzeContext(ctx, n, res.Par, sopt)
 		if err != nil {
-			return 0, fmt.Errorf("flow: sta: %w", err)
+			return 0, fail(err)
 		}
 		res.STA = st
 		return fillerArea, nil
@@ -225,9 +327,12 @@ func Run(design *netlist.Netlist, cfg Config) (*Result, error) {
 		}
 		cts.Remove(n, res.CTS)
 		res.Place.RemoveFillers()
-		pl, err := place.Place(n, cfg.Place)
+		if err := enter(StagePlace); err != nil {
+			return nil, err
+		}
+		pl, err := place.PlaceContext(ctx, n, cfg.Place)
 		if err != nil {
-			return nil, fmt.Errorf("flow: re-place (round %d): %w", round+1, err)
+			return nil, fail(fmt.Errorf("re-place (round %d): %w", round+1, err))
 		}
 		res.Place = pl
 		scan.Reorder(n, sc, pl.Pos)
@@ -305,6 +410,7 @@ func (r *Result) fillMetrics(tpCount int, fillerArea float64) {
 	m.NumFF = n.NumFlipFlops()
 	m.Chains = r.Scan.NumChains()
 	m.LMax = r.Scan.MaxLength()
+	m.Truncated = r.Truncated
 	if r.Faults != nil {
 		m.Faults = r.Faults.Total()
 		fc, fe := r.Faults.Coverage()

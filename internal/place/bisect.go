@@ -1,6 +1,8 @@
 package place
 
 import (
+	"context"
+
 	"tpilayout/internal/netlist"
 )
 
@@ -68,15 +70,22 @@ func newBisector(n *netlist.Netlist, passes int) *bisector {
 }
 
 // run recursively splits cells over reg, calling emit for each cell with
-// its final leaf region.
-func (b *bisector) run(cells []netlist.CellID, reg region, emit func(netlist.CellID, region)) {
+// its final leaf region. One cut (partition plus its FM refinement) is
+// the cancellation work unit: the context is checked at every recursion
+// node and the whole placement is abandoned on cancel.
+func (b *bisector) run(ctx context.Context, cells []netlist.CellID, reg region, emit func(netlist.CellID, region)) error {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
 	rows := reg.r1 - reg.r0
 	wide := reg.x1 - reg.x0
 	if len(cells) <= leafCells || (rows <= 1 && wide <= 16*b.n.Lib.SiteWidth) {
 		for _, c := range cells {
 			emit(c, reg)
 		}
-		return
+		return nil
 	}
 	var regA, regB region
 	var fracA float64
@@ -100,8 +109,10 @@ func (b *bisector) run(cells []netlist.CellID, reg region, emit func(netlist.Cel
 			right = append(right, c)
 		}
 	}
-	b.run(left, regA, emit)
-	b.run(right, regB, emit)
+	if err := b.run(ctx, left, regA, emit); err != nil {
+		return err
+	}
+	return b.run(ctx, right, regB, emit)
 }
 
 // partition splits cells into side 0 (area fraction fracA) and side 1,

@@ -12,6 +12,7 @@
 package place
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -54,6 +55,13 @@ type Placement struct {
 
 // Place floorplans and places all live cells of n.
 func Place(n *netlist.Netlist, opt Options) (*Placement, error) {
+	return PlaceContext(context.Background(), n, opt)
+}
+
+// PlaceContext is Place with cooperative cancellation: the recursive
+// min-cut bisection checks the context at every cut, so a cancel lands
+// within one partition refinement, not one placement.
+func PlaceContext(ctx context.Context, n *netlist.Netlist, opt Options) (*Placement, error) {
 	if opt.TargetUtilization <= 0 || opt.TargetUtilization > 1 {
 		return nil, fmt.Errorf("place: bad utilization %g", opt.TargetUtilization)
 	}
@@ -65,7 +73,9 @@ func Place(n *netlist.Netlist, opt Options) (*Placement, error) {
 	}
 	p := &Placement{N: n, Opt: opt}
 	p.floorplan()
-	p.global()
+	if err := p.global(ctx); err != nil {
+		return nil, err
+	}
 	if err := p.legalize(); err != nil {
 		return nil, err
 	}
@@ -134,7 +144,7 @@ func (p *Placement) RowUtilization() float64 {
 
 // global runs recursive min-cut bisection, assigning every live cell a
 // (row, x) bin; legalize turns bins into abutted site positions.
-func (p *Placement) global() {
+func (p *Placement) global(ctx context.Context) error {
 	n := p.N
 	p.X = make([]float64, len(n.Cells))
 	p.Row = make([]int32, len(n.Cells))
@@ -148,7 +158,7 @@ func (p *Placement) global() {
 		}
 	}
 	b := newBisector(n, p.Opt.FMPasses)
-	b.run(cells, region{r0: 0, r1: p.NumRows, x0: 0, x1: p.RowLen}, func(id netlist.CellID, reg region) {
+	return b.run(ctx, cells, region{r0: 0, r1: p.NumRows, x0: 0, x1: p.RowLen}, func(id netlist.CellID, reg region) {
 		p.Row[id] = int32(reg.r0)
 		p.X[id] = reg.x0
 	})

@@ -7,6 +7,7 @@
 package route
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -40,6 +41,13 @@ type point struct{ x, y float64 }
 
 // Route globally routes every live multi-pin net of the placement.
 func Route(p *place.Placement, opt Options) *Result {
+	r, _ := RouteContext(context.Background(), p, opt) // Background never cancels
+	return r
+}
+
+// RouteContext is Route with cooperative cancellation, checked every few
+// routed nets; the only possible error is the context's.
+func RouteContext(ctx context.Context, p *place.Placement, opt Options) (*Result, error) {
 	if opt.GCellSize <= 0 {
 		opt.GCellSize = 20
 	}
@@ -85,13 +93,18 @@ func Route(p *place.Placement, opt Options) *Result {
 	}
 	sort.SliceStable(jobs, func(i, j int) bool { return len(jobs[i].pins) > len(jobs[j].pins) })
 
-	for _, jb := range jobs {
+	for ji, jb := range jobs {
+		if ji&63 == 0 && ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		length := g.routeNet(jb.pins)
 		res.NetLen[jb.id] = length
 		res.Total += length
 	}
 	res.Overflow = g.overflow
-	return res
+	return res, nil
 }
 
 // grid tracks per-cell routing usage.

@@ -12,6 +12,7 @@
 package sta
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -72,6 +73,7 @@ type analyzer struct {
 	n    *netlist.Netlist
 	par  *extract.Parasitics
 	opt  Options
+	ctx  context.Context
 	cons []int8 // propagated constants per net (-1 = toggling)
 
 	at    []float64
@@ -85,6 +87,13 @@ type analyzer struct {
 
 // Analyze runs STA over the routed, extracted design.
 func Analyze(n *netlist.Netlist, par *extract.Parasitics, opt Options) (*Result, error) {
+	return AnalyzeContext(context.Background(), n, par, opt)
+}
+
+// AnalyzeContext is Analyze with cooperative cancellation: the levelized
+// sweeps check the context every few thousand cells, so a cancel lands
+// within one propagation slice, not one full analysis.
+func AnalyzeContext(ctx context.Context, n *netlist.Netlist, par *extract.Parasitics, opt Options) (*Result, error) {
 	if opt.InputSlew <= 0 {
 		opt.InputSlew = 40
 	}
@@ -95,7 +104,7 @@ func Analyze(n *netlist.Netlist, par *extract.Parasitics, opt Options) (*Result,
 	if err != nil {
 		return nil, err
 	}
-	a := &analyzer{n: n, par: par, opt: opt, order: lv.Order,
+	a := &analyzer{n: n, par: par, opt: opt, ctx: ctx, order: lv.Order,
 		slowSeen: make([]bool, len(n.Cells))}
 	a.propagateConstants()
 
@@ -116,7 +125,9 @@ func Analyze(n *netlist.Netlist, par *extract.Parasitics, opt Options) (*Result,
 		a.at[root] = 0
 		a.slew[root] = opt.InputSlew
 	}
-	a.propagate()
+	if err := a.propagate(); err != nil {
+		return nil, err
+	}
 	ffs := n.FlipFlops()
 	for _, ff := range ffs {
 		c := &n.Cells[ff]
@@ -226,10 +237,18 @@ func (a *analyzer) activeArc(c *netlist.Instance, pin int) bool {
 }
 
 // propagate sweeps the levelized order once, computing worst arrivals.
-func (a *analyzer) propagate() {
-	for _, ci := range a.order {
+// The context is checked every few thousand cells — the cancellation
+// work unit of the analysis.
+func (a *analyzer) propagate() error {
+	for i, ci := range a.order {
+		if i&4095 == 0 && a.ctx != nil {
+			if err := a.ctx.Err(); err != nil {
+				return err
+			}
+		}
 		a.evalCell(ci)
 	}
+	return nil
 }
 
 func (a *analyzer) evalCell(ci netlist.CellID) {
@@ -315,7 +334,9 @@ func (a *analyzer) domainPass(dom int, clkArr []float64) (PathReport, error) {
 		a.from[c.Out] = arc{fromNet: netlist.NoNet, viaCell: ff,
 			intrin: intrin, loadDep: ldep, isSource: true}
 	}
-	a.propagate()
+	if err := a.propagate(); err != nil {
+		return PathReport{}, err
+	}
 
 	// Endpoints: d pins of this domain's flops.
 	rep := PathReport{Domain: dom, Tcp: -1}

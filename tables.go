@@ -71,6 +71,30 @@ func FormatTable3(rows []Metrics) string {
 	return b.String()
 }
 
+// CompletedMetrics extracts the successful rows of a partial sweep, in
+// level order — the rows the Format functions can render.
+func CompletedMetrics(levels []LevelResult) []Metrics {
+	var rows []Metrics
+	for _, lr := range levels {
+		if lr.Err == nil {
+			rows = append(rows, lr.Metrics)
+		}
+	}
+	return rows
+}
+
+// FormatSweepFailures renders the failed rows of a partial sweep, one
+// clearly-marked line per failed level ("" when every level completed).
+func FormatSweepFailures(levels []LevelResult) string {
+	var b strings.Builder
+	for _, lr := range levels {
+		if lr.Err != nil {
+			fmt.Fprintf(&b, "!! %g%% TPs FAILED: %v\n", lr.TPPercent, lr.Err)
+		}
+	}
+	return b.String()
+}
+
 func circuitName(rows []Metrics) string {
 	if len(rows) == 0 {
 		return "(empty)"

@@ -16,11 +16,20 @@
 //	design, _ := tpilayout.Generate(tpilayout.S38417Class(), tpilayout.DefaultLibrary())
 //	rows, _ := tpilayout.Sweep(design, tpilayout.ExperimentConfig("s38417c"), []float64{0, 1, 2, 3, 4, 5})
 //	fmt.Print(tpilayout.FormatTable1(rows))
+//
+// Execution is supervised end to end: the Context variants (RunContext,
+// SweepContext, SweepPartial) honor cancellation inside every long loop,
+// failures surface as typed *StageError values, ATPG runs can be
+// deadline-bounded (returning a valid Truncated result, like an
+// industrial abort), and a panicking sweep level degrades into one
+// failed row instead of killing the process.
 package tpilayout
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -29,6 +38,7 @@ import (
 	"tpilayout/internal/netlist"
 	"tpilayout/internal/scan"
 	"tpilayout/internal/stdcell"
+	"tpilayout/internal/supervise"
 )
 
 // Re-exported core types. The internal packages remain the implementation
@@ -48,6 +58,10 @@ type (
 	Metrics = flow.Metrics
 	// DomainTiming is one Table 3 row (one clock domain of one layout).
 	DomainTiming = flow.DomainTiming
+	// StageError is the typed failure of one flow stage; every error
+	// returned by Run/Sweep and their Context variants wraps one
+	// (recoverable with errors.As).
+	StageError = flow.StageError
 )
 
 // DefaultLibrary returns the 130 nm-class standard-cell library used by
@@ -60,8 +74,10 @@ func WirelessCtrlClass() Spec { return circuitgen.WirelessCtrlClass() }
 func DSPCoreClass() Spec      { return circuitgen.DSPCoreClass() }
 
 // SpecByName resolves the experiment circuits by their paper names.
+// Matching is case-insensitive and ignores surrounding whitespace, so
+// "S38417 " resolves like "s38417".
 func SpecByName(name string) (Spec, error) {
-	switch name {
+	switch strings.ToLower(strings.TrimSpace(name)) {
 	case "s38417", "s38417c":
 		return S38417Class(), nil
 	case "circuit1", "wctrl1", "wireless":
@@ -79,6 +95,15 @@ func Generate(spec Spec, lib *Library) (*Netlist, error) {
 
 // Run executes the full Figure 2 flow once.
 func Run(design *Netlist, cfg Config) (*Result, error) { return flow.Run(design, cfg) }
+
+// RunContext executes the full Figure 2 flow once under supervision: the
+// context cancels the run within one work unit (one PODEM fault, one
+// bisection cut, one routed net, one STA slice), every failure is a
+// *StageError naming the failing stage and TP level, and panics anywhere
+// in the flow are isolated into errors instead of crashing the process.
+func RunContext(ctx context.Context, design *Netlist, cfg Config) (*Result, error) {
+	return flow.RunContext(ctx, design, cfg)
+}
 
 // CriticalNets returns a TPI exclusion set from a baseline layout's
 // critical paths (the Section 5 technique).
@@ -102,6 +127,15 @@ func ExperimentConfig(circuit string) Config {
 	return cfg
 }
 
+// LevelResult is the outcome of one level of a partial-failure sweep:
+// either Metrics (Err == nil) or the level's typed failure (Err != nil,
+// normally a *StageError). TPPercent identifies the level either way.
+type LevelResult struct {
+	TPPercent float64
+	Metrics   Metrics
+	Err       error
+}
+
 // Sweep runs the flow for each test-point percentage and returns one
 // metrics row per layout, in order. Each layout is generated from scratch
 // (separate floorplans), exactly as the paper does.
@@ -112,6 +146,70 @@ func ExperimentConfig(circuit string) Config {
 // input order and are bit-identical to a serial (Workers: 1) run; only
 // the wall-clock time changes.
 func Sweep(design *Netlist, cfg Config, tpPercents []float64) ([]Metrics, error) {
+	return SweepContext(context.Background(), design, cfg, tpPercents)
+}
+
+// SweepContext is Sweep under supervision: cancelling the context stops
+// every in-flight layout within one work unit and returns the context's
+// error. All levels are attempted; if any fail, the error of the first
+// failing level in input order is returned (use SweepPartial to also
+// recover the levels that completed).
+func SweepContext(ctx context.Context, design *Netlist, cfg Config, tpPercents []float64) ([]Metrics, error) {
+	levels, err := SweepPartial(ctx, design, cfg, tpPercents)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Metrics, len(levels))
+	for i, lr := range levels {
+		if lr.Err != nil {
+			// Deterministic error reporting: the first failing level by
+			// input order wins, matching what a serial run would return.
+			return nil, fmt.Errorf("tpilayout: sweep at %.1f%%: %w", lr.TPPercent, lr.Err)
+		}
+		rows[i] = lr.Metrics
+	}
+	return rows, nil
+}
+
+// SweepPartial is the graceful-degradation sweep: it runs every level and
+// returns one LevelResult per TP percentage, in input order, so a failed,
+// panicked, or timed-out level is reported in place while completed
+// levels survive. The returned error is non-nil only for sweep-level
+// problems (an invalid Config) — per-level failures live in the
+// LevelResult.Err fields. Each worker is panic-isolated: one crashing
+// level can neither kill the process nor poison its siblings.
+func SweepPartial(ctx context.Context, design *Netlist, cfg Config, tpPercents []float64) ([]LevelResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]LevelResult, len(tpPercents))
+	for i, pct := range tpPercents {
+		out[i].TPPercent = pct
+	}
+	// runLevel owns out[i] exclusively; the deferred recover is the sweep
+	// worker's panic isolation (flow.RunContext already isolates stage
+	// panics — this guards everything outside it, Clone included).
+	runLevel := func(i int) {
+		pct := tpPercents[i]
+		defer func() {
+			if r := recover(); r != nil {
+				pe := supervise.AsPanicError(r)
+				out[i].Err = &flow.StageError{Stage: flow.StageSweep, TPPercent: pct, Err: pe, Stack: pe.Stack}
+			}
+		}()
+		c := cfg
+		c.TPPercent = pct
+		// flow.RunContext works on its own deep copy of design; cloning
+		// here as well keeps the shared design strictly read-only inside
+		// the worker.
+		r, err := flow.RunContext(ctx, design.Clone(), c)
+		if err != nil {
+			out[i].Err = err
+			return
+		}
+		out[i].Metrics = r.Metrics
+	}
+
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -120,21 +218,11 @@ func Sweep(design *Netlist, cfg Config, tpPercents []float64) ([]Metrics, error)
 		workers = len(tpPercents)
 	}
 	if workers <= 1 {
-		var rows []Metrics
-		for _, pct := range tpPercents {
-			c := cfg
-			c.TPPercent = pct
-			r, err := flow.Run(design, c)
-			if err != nil {
-				return nil, fmt.Errorf("tpilayout: sweep at %.1f%%: %w", pct, err)
-			}
-			rows = append(rows, r.Metrics)
+		for i := range tpPercents {
+			runLevel(i)
 		}
-		return rows, nil
+		return out, nil
 	}
-
-	rows := make([]Metrics, len(tpPercents))
-	errs := make([]error, len(tpPercents))
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -146,27 +234,10 @@ func Sweep(design *Netlist, cfg Config, tpPercents []float64) ([]Metrics, error)
 				if i >= len(tpPercents) {
 					return
 				}
-				c := cfg
-				c.TPPercent = tpPercents[i]
-				// flow.Run works on its own deep copy of design; cloning
-				// here as well keeps the shared design strictly read-only
-				// inside the worker.
-				r, err := flow.Run(design.Clone(), c)
-				if err != nil {
-					errs[i] = fmt.Errorf("tpilayout: sweep at %.1f%%: %w", tpPercents[i], err)
-					continue
-				}
-				rows[i] = r.Metrics
+				runLevel(i)
 			}
 		}()
 	}
 	wg.Wait()
-	// Deterministic error reporting: the first failing level by input
-	// order wins, matching what a serial run would have returned.
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return rows, nil
+	return out, nil
 }

@@ -45,6 +45,39 @@ func TestSpecByName(t *testing.T) {
 	}
 }
 
+// TestSpecByNameForgivesCaseAndWhitespace: aliases resolve regardless of
+// letter case and surrounding whitespace — "S38417 " works like "s38417".
+func TestSpecByNameForgivesCaseAndWhitespace(t *testing.T) {
+	cases := []struct {
+		alias string
+		want  Spec
+	}{
+		{"S38417 ", S38417Class()},
+		{" s38417C", S38417Class()},
+		{"S38417C", S38417Class()},
+		{" WCTRL1", WirelessCtrlClass()},
+		{"Circuit1\t", WirelessCtrlClass()},
+		{"WIRELESS", WirelessCtrlClass()},
+		{"Dsp", DSPCoreClass()},
+		{"  P26909c  ", DSPCoreClass()},
+		{"\tP26909\n", DSPCoreClass()},
+	}
+	for _, tc := range cases {
+		got, err := SpecByName(tc.alias)
+		if err != nil {
+			t.Errorf("SpecByName(%q): %v", tc.alias, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("SpecByName(%q) = %s profile, want %s", tc.alias, got.Name, tc.want.Name)
+		}
+	}
+	// Normalization must not make garbage resolve.
+	if _, err := SpecByName("  C17  "); err == nil {
+		t.Error("SpecByName accepted an unknown circuit after normalization")
+	}
+}
+
 func TestExperimentConfigMatchesPaperSetup(t *testing.T) {
 	// s38417 / circuit 1: chains of at most 100 flops, 97% utilization.
 	c := ExperimentConfig("s38417c")
