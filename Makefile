@@ -1,0 +1,30 @@
+# Convenience targets; everything is plain `go` underneath.
+
+BENCH_PATTERN ?= BenchmarkTable1_|BenchmarkTable2_S38417|BenchmarkTable3_S38417|BenchmarkSweepSerial|BenchmarkSweepParallel
+BENCH_SECTION ?= current
+BENCH_OUT     ?= BENCH_PR3.json
+
+.PHONY: test race bench bench-json bench-smoke
+
+test:
+	go build ./... && go vet ./... && go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -run xxx -bench '$(BENCH_PATTERN)' -benchtime=3x -benchmem .
+
+# bench-json records the tracked benchmarks (Tables 1-3 + the sweep,
+# ns/op and allocs/op) into the $(BENCH_OUT) ledger under
+# $(BENCH_SECTION). Record a pre-change "baseline" section first, then a
+# "current" section after, and diff with `go run ./cmd/benchjson -list`.
+bench-json:
+	go test -run xxx -bench '$(BENCH_PATTERN)' -benchtime=3x -benchmem . \
+		| tee /dev/stderr \
+		| go run ./cmd/benchjson -out $(BENCH_OUT) -section $(BENCH_SECTION)
+
+# bench-smoke is the CI gate: one iteration of the full-circuit Table 1
+# benchmark, race detector off, failing on any panic.
+bench-smoke:
+	go test -run xxx -bench BenchmarkTable1 -benchtime=1x -benchmem .

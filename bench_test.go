@@ -77,6 +77,7 @@ func reduction(first, last float64) float64 {
 
 func benchTable1(b *testing.B, circuit string) {
 	design, cfg := benchDesign(b, circuit)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := Sweep(design, cfg, benchLevels)
 		if err != nil {
@@ -95,6 +96,7 @@ func benchTable1(b *testing.B, circuit string) {
 
 func benchTable2(b *testing.B, circuit string) {
 	design, cfg := benchDesign(b, circuit)
+	b.ReportAllocs()
 	cfg.SkipATPG = true
 	for i := 0; i < b.N; i++ {
 		rows, err := Sweep(design, cfg, benchLevels)
@@ -113,6 +115,7 @@ func benchTable2(b *testing.B, circuit string) {
 
 func benchTable3(b *testing.B, circuit string) {
 	design, cfg := benchDesign(b, circuit)
+	b.ReportAllocs()
 	cfg.SkipATPG = true
 	for i := 0; i < b.N; i++ {
 		rows, err := Sweep(design, cfg, benchLevels)
@@ -144,6 +147,7 @@ func BenchmarkTable3_DSPCore(b *testing.B)      { benchTable3(b, "p26909c") }
 // BenchmarkFigure3 reproduces the three layout views of Figure 3.
 func BenchmarkFigure3(b *testing.B) {
 	design, cfg := benchDesign(b, "s38417c")
+	b.ReportAllocs()
 	cfg.TPPercent = 1
 	cfg.SkipATPG = true
 	for i := 0; i < b.N; i++ {
@@ -164,6 +168,7 @@ func BenchmarkFigure3(b *testing.B) {
 // should recover part of the Tcp increase.
 func BenchmarkAblationCPExclusion(b *testing.B) {
 	design, cfg := benchDesign(b, "s38417c")
+	b.ReportAllocs()
 	cfg.SkipATPG = true
 	for i := 0; i < b.N; i++ {
 		base, err := Run(design, cfg)
@@ -197,6 +202,7 @@ func BenchmarkAblationCPExclusion(b *testing.B) {
 // layout-driven scan chain reordering of flow step 3.
 func BenchmarkAblationReorder(b *testing.B) {
 	design, cfg := benchDesign(b, "s38417c")
+	b.ReportAllocs()
 	cfg.SkipATPG = true
 	cfg.TPPercent = 1
 	for i := 0; i < b.N; i++ {
@@ -228,6 +234,7 @@ func BenchmarkAblationReorder(b *testing.B) {
 // observation: the curve must flatten.
 func BenchmarkAblationTPBudget(b *testing.B) {
 	design, cfg := benchDesign(b, "s38417c")
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := Sweep(design, cfg, []float64{0, 1, 2, 3, 4, 5})
 		if err != nil {
@@ -251,6 +258,7 @@ func BenchmarkAblationTPBudget(b *testing.B) {
 // pattern set comes from dynamic compaction.
 func BenchmarkAblationDynamicCompaction(b *testing.B) {
 	design, cfg := benchDesign(b, "s38417c")
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		on := cfg
 		on.TPPercent = 0
@@ -274,6 +282,7 @@ func BenchmarkAblationDynamicCompaction(b *testing.B) {
 // speedup of the two-tier concurrency (per-TP% layouts + fault shards).
 func benchSweepWorkers(b *testing.B, workers int) {
 	design, cfg := benchDesign(b, "s38417c")
+	b.ReportAllocs()
 	cfg.Workers = workers
 	for i := 0; i < b.N; i++ {
 		rows, err := Sweep(design, cfg, benchLevels)
@@ -292,6 +301,7 @@ func BenchmarkSweepParallel(b *testing.B) { benchSweepWorkers(b, 0) }
 // the given number of FaultSim shards.
 func benchFaultSimWorkers(b *testing.B, workers int) {
 	design, cfg := benchDesign(b, "s38417c")
+	b.ReportAllocs()
 	cfg.TPPercent = 1
 	cfg.ATPG.Workers = workers
 	for i := 0; i < b.N; i++ {
@@ -310,6 +320,7 @@ func BenchmarkFaultSimParallel(b *testing.B) { benchFaultSimWorkers(b, 0) }
 // design iterations: speed recovered after TPI, paid for with core area.
 func BenchmarkAblationTimingOpt(b *testing.B) {
 	design, cfg := benchDesign(b, "s38417c")
+	b.ReportAllocs()
 	cfg.SkipATPG = true
 	cfg.TPPercent = 3
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,141 @@
+// Command benchjson converts `go test -bench` output into a
+// machine-readable JSON ledger, so benchmark runs can be recorded,
+// diffed, and gated in CI without scraping text.
+//
+// It reads benchmark output on stdin and merges one named section into
+// the output file (creating it if absent), keeping every other section
+// intact — the intended use is one section per snapshot:
+//
+//	go test -run xxx -bench 'BenchmarkTable1_' -benchmem . |
+//	    go run ./cmd/benchjson -out BENCH_PR3.json -section current
+//
+// Standard units (ns/op, B/op, allocs/op) get first-class fields; every
+// extra ReportMetric unit lands in the metrics map verbatim.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's numbers within a section.
+type Entry struct {
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// cpuSuffix strips the -<GOMAXPROCS> tail go test appends to names.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+func parse(lines *bufio.Scanner) (map[string]Entry, error) {
+	out := map[string]Entry{}
+	for lines.Scan() {
+		line := strings.TrimSpace(lines.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // a RUN/--- line, not a result row
+		}
+		e := Entry{Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad value %q in %q", fields[i], line)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				e.NsPerOp = val
+			case "B/op":
+				e.BytesPerOp = val
+			case "allocs/op":
+				e.AllocsPerOp = val
+			default:
+				if e.Metrics == nil {
+					e.Metrics = map[string]float64{}
+				}
+				e.Metrics[unit] = val
+			}
+		}
+		out[cpuSuffix.ReplaceAllString(fields[0], "")] = e
+	}
+	return out, lines.Err()
+}
+
+func main() {
+	outPath := flag.String("out", "BENCH_PR3.json", "JSON ledger to create or update")
+	section := flag.String("section", "current", "section name to write (e.g. baseline, current)")
+	list := flag.Bool("list", false, "print the ledger's sections and benchmarks instead of reading stdin")
+	flag.Parse()
+
+	ledger := map[string]map[string]Entry{}
+	if data, err := os.ReadFile(*outPath); err == nil {
+		if err := json.Unmarshal(data, &ledger); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s is not a benchmark ledger: %v\n", *outPath, err)
+			os.Exit(1)
+		}
+	}
+
+	if *list {
+		var sections []string
+		for s := range ledger {
+			sections = append(sections, s)
+		}
+		sort.Strings(sections)
+		for _, s := range sections {
+			var names []string
+			for name := range ledger[s] {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				e := ledger[s][name]
+				fmt.Printf("%s\t%s\t%.0f ns/op\t%.0f allocs/op\n", s, name, e.NsPerOp, e.AllocsPerOp)
+			}
+		}
+		return
+	}
+
+	entries, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(entries) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines on stdin")
+		os.Exit(1)
+	}
+	if ledger[*section] == nil {
+		ledger[*section] = map[string]Entry{}
+	}
+	for name, e := range entries {
+		ledger[*section][name] = e
+	}
+
+	data, err := json.MarshalIndent(ledger, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to section %q of %s\n", len(entries), *section, *outPath)
+}

@@ -59,6 +59,12 @@ type Options struct {
 	// fails. The zero value means no deadline. Contrast with context
 	// cancellation, which aborts the run with an error.
 	Deadline time.Time
+
+	// noDomShortcut disables the dominance-based detection shortcut in
+	// the drop passes. The shortcut never changes statuses or patterns
+	// (property-tested); the switch exists so those tests can compare
+	// runs with and without it.
+	noDomShortcut bool
 }
 
 // Pattern is one fully-specified test pattern: one 0/1 value per view
@@ -74,6 +80,12 @@ type Result struct {
 	// Class counts at the end of the run.
 	UntestableClasses int
 	AbortedClasses    int
+
+	// FaultClasses is the equivalence-collapsed class count of the fault
+	// universe; CollapsedClasses additionally removes dominated classes
+	// (those provably detected by any test for a dominating input fault).
+	FaultClasses     int
+	CollapsedClasses int
 
 	// Truncated reports that Options.Deadline expired before generation
 	// finished; the patterns and fault statuses are valid but cover only
@@ -138,8 +150,15 @@ func RunContext(ctx context.Context, n *netlist.Netlist, set *fault.Set, opt Opt
 
 	gen := newPodem(v, ta, opt.BacktrackLimit)
 	pool := newSimPool(ctx, v, opt.Workers)
+	pool.noDom = opt.noDomShortcut
+	defer pool.Release()
 	rng := rand.New(rand.NewSource(opt.FillSeed))
-	res = &Result{View: v, Faults: set}
+	res = &Result{
+		View:             v,
+		Faults:           set,
+		FaultClasses:     set.NumClasses(),
+		CollapsedClasses: set.NumCollapsed(),
+	}
 
 	// expired latches once the deadline passes: generation stops at the
 	// next fault-class boundary and the run completes truncated.
@@ -155,7 +174,8 @@ func RunContext(ctx context.Context, n *netlist.Netlist, set *fault.Set, opt Opt
 
 	// detWords is reused across drop passes; detWords[i] belongs to
 	// reps[i], which is what keeps the parallel merge deterministic.
-	detWords := make([]uint64, len(reps))
+	detWords := getWords(len(reps))
+	defer putWords(detWords)
 	simulateAndDrop := func(batch *Batch) int {
 		dropped := 0
 		pool.SimGood(batch)
@@ -181,19 +201,23 @@ func RunContext(ctx context.Context, n *netlist.Netlist, set *fault.Set, opt Opt
 		opt.RandomRounds = 48
 	}
 	lowRounds := 0
+	batch := pool.NewBatch()
 	for round := 0; round < opt.RandomRounds && lowRounds < 2 && !expired(); round++ {
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, cerr
 		}
-		batch := pool.NewBatch()
-		cube := make([]int8, len(v.Sources))
+		batch.Reset()
+		// One backing array per round; each pattern is a subslice, so the
+		// round costs two allocations instead of 65.
+		chunk := make([]int8, 64*len(v.Sources))
 		for bit := 0; bit < 64; bit++ {
+			cube := chunk[bit*len(v.Sources) : (bit+1)*len(v.Sources) : (bit+1)*len(v.Sources)]
 			for i := range cube {
 				cube[i] = -1
 			}
 			fillRandom(cube, rng)
 			batch.SetPattern(bit, cube)
-			res.Patterns = append(res.Patterns, append(Pattern(nil), cube...))
+			res.Patterns = append(res.Patterns, Pattern(cube))
 		}
 		if dropped := simulateAndDrop(batch); dropped*1000 < set.NumClasses() {
 			lowRounds++
@@ -206,7 +230,7 @@ func RunContext(ctx context.Context, n *netlist.Netlist, set *fault.Set, opt Opt
 	runPass := func(limit int) error {
 		gen.btLimit = limit
 		for {
-			batch := pool.NewBatch()
+			batch.Reset()
 			count := 0
 			for ri, r := range reps {
 				if set.Status(r) != fault.Undetected {
@@ -348,9 +372,11 @@ func RunContext(ctx context.Context, n *netlist.Netlist, set *fault.Set, opt Opt
 // callback reads it race-free.
 func (p *simPool) coveredBy(patterns []Pattern, set *fault.Set, reps []int32) map[int32]bool {
 	det := make(map[int32]bool)
-	out := make([]uint64, len(reps))
+	out := getWords(len(reps))
+	defer putWords(out)
+	batch := p.NewBatch()
 	for lo := 0; lo < len(patterns); lo += 64 {
-		batch := p.NewBatch()
+		batch.Reset()
 		for i := lo; i < len(patterns) && i < lo+64; i++ {
 			batch.SetPattern(i-lo, patterns[i])
 		}
@@ -404,7 +430,7 @@ func precreditCaptureDead(v *View, set *fault.Set) {
 		}
 		if f.Load == fault.StemLoad {
 			// A stem is capture-dead when every load is a scan-path pin.
-			loads := v.Fan[f.Net]
+			loads := v.fanout(f.Net)
 			if len(loads) == 0 {
 				return false
 			}
@@ -415,7 +441,7 @@ func precreditCaptureDead(v *View, set *fault.Set) {
 			}
 			return true
 		}
-		return scanPathPin(v, v.Fan[f.Net][f.Load])
+		return scanPathPin(v, v.fanout(f.Net)[f.Load])
 	})
 }
 
@@ -468,11 +494,13 @@ func compactReverse(p *simPool, set *fault.Set, reps []int32, patterns []Pattern
 	}
 	done := make(map[int32]bool, len(targets))
 	keep := make([]bool, len(patterns))
-	detected := make([]uint64, len(targets))
+	detected := getWords(len(targets))
+	defer putWords(detected)
+	batch := p.NewBatch()
 
 	for hi := len(patterns); hi > 0; hi -= min(hi, 64) {
 		lo := hi - min(hi, 64)
-		batch := p.NewBatch()
+		batch.Reset()
 		for i := lo; i < hi; i++ {
 			batch.SetPattern(i-lo, patterns[i])
 		}

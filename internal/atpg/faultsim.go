@@ -9,7 +9,9 @@ import (
 // FaultSim is a 64-way parallel-pattern single-fault-propagation (PPSFP)
 // fault simulator over a capture-mode view: one good-circuit simulation
 // per 64-pattern batch, then per-fault forward propagation of the
-// difference cone with early exit.
+// difference cone with early exit. All traversals run over the view's
+// flat CSR adjacency; the propagation buffers come from a shared pool
+// (see Release).
 type FaultSim struct {
 	v *View
 
@@ -20,19 +22,24 @@ type FaultSim struct {
 
 	buckets [][]netlist.CellID
 	queued  []bool
+
+	scratch *simScratch
 }
 
-// NewFaultSim builds a fault simulator for the view.
+// NewFaultSim builds a fault simulator for the view. Call Release when
+// done to return the propagation buffers to the pool.
 func NewFaultSim(v *View) *FaultSim {
-	fs := &FaultSim{
+	s := getScratch(len(v.N.Nets), len(v.N.Cells), v.MaxLevel+2)
+	s.ensureGood(len(v.N.Nets))
+	return &FaultSim{
 		v:       v,
-		good:    make([]uint64, len(v.N.Nets)),
-		faulty:  make([]uint64, len(v.N.Nets)),
-		stamp:   make([]int32, len(v.N.Nets)),
-		buckets: make([][]netlist.CellID, v.MaxLevel+2),
-		queued:  make([]bool, len(v.N.Cells)),
+		good:    s.good,
+		faulty:  s.faulty,
+		stamp:   s.stamp,
+		buckets: s.buckets,
+		queued:  s.queued,
+		scratch: s,
 	}
-	return fs
 }
 
 // NewShard returns a FaultSim that aliases fs's good-value plane but owns
@@ -40,14 +47,27 @@ func NewFaultSim(v *View) *FaultSim {
 // SimGood on fs, Detects may run concurrently on fs and all of its shards:
 // propagation only reads the shared good plane.
 func (fs *FaultSim) NewShard() *FaultSim {
+	s := getScratch(len(fs.v.N.Nets), len(fs.v.N.Cells), fs.v.MaxLevel+2)
 	return &FaultSim{
 		v:       fs.v,
 		good:    fs.good,
-		faulty:  make([]uint64, len(fs.v.N.Nets)),
-		stamp:   make([]int32, len(fs.v.N.Nets)),
-		buckets: make([][]netlist.CellID, fs.v.MaxLevel+2),
-		queued:  make([]bool, len(fs.v.N.Cells)),
+		faulty:  s.faulty,
+		stamp:   s.stamp,
+		buckets: s.buckets,
+		queued:  s.queued,
+		scratch: s,
 	}
+}
+
+// Release returns the simulator's buffers to the scratch pool. The
+// FaultSim must not be used afterwards.
+func (fs *FaultSim) Release() {
+	if fs.scratch == nil {
+		return
+	}
+	putScratch(fs.scratch)
+	fs.scratch = nil
+	fs.good, fs.faulty, fs.stamp, fs.buckets, fs.queued = nil, nil, nil, nil, nil
 }
 
 // Batch is up to 64 test patterns in transposed form: Words[i] carries bit
@@ -61,6 +81,14 @@ type Batch struct {
 // NewBatch allocates an empty batch for the view.
 func (fs *FaultSim) NewBatch() *Batch {
 	return &Batch{Words: make([]uint64, len(fs.v.Sources))}
+}
+
+// Reset empties the batch for reuse.
+func (b *Batch) Reset() {
+	for i := range b.Words {
+		b.Words[i] = 0
+	}
+	b.N = 0
 }
 
 // SetPattern writes pattern values (one int8 0/1 per source; -1 bits are
@@ -90,21 +118,22 @@ func (b *Batch) mask() uint64 {
 // SimGood simulates the fault-free circuit for the batch, leaving per-net
 // values in place for subsequent Detects calls.
 func (fs *FaultSim) SimGood(b *Batch) {
+	v := fs.v
 	for i := range fs.good {
 		fs.good[i] = 0
-		if fs.v.ConstVal[i] == 1 {
+		if v.ConstVal[i] == 1 {
 			fs.good[i] = ^uint64(0)
 		}
 	}
-	for i, src := range fs.v.Sources {
+	for i, src := range v.Sources {
 		fs.good[src] = b.Words[i]
 	}
-	for _, ci := range fs.v.Order {
-		c := &fs.v.N.Cells[ci]
-		if cv := fs.v.ConstVal[c.Out]; cv >= 0 {
+	for _, ci := range v.Order {
+		out := v.CellOut[ci]
+		if v.ConstVal[out] >= 0 {
 			continue
 		}
-		fs.good[c.Out] = logicsim.EvalCell(c, fs.good)
+		fs.good[out] = logicsim.EvalNets(v.CellKind[ci], v.fanin(ci), fs.good)
 	}
 }
 
@@ -150,7 +179,7 @@ func (fs *FaultSim) Detects(f fault.Fault, b *Batch, earlyExit bool) uint64 {
 		}
 		fs.enqueueLoads(f.Net)
 	} else {
-		ld := fs.v.Fan[f.Net][f.Load]
+		ld := fs.v.fanout(f.Net)[f.Load]
 		if ld.Cell == netlist.NoCell {
 			// Branch feeding a primary output directly.
 			return act
@@ -171,16 +200,16 @@ func (fs *FaultSim) Detects(f fault.Fault, b *Batch, earlyExit bool) uint64 {
 	}
 
 	gather := func(ci netlist.CellID) uint64 {
-		c := &fs.v.N.Cells[ci]
 		var ins [8]uint64
-		for pin, net := range c.Ins {
+		fanin := fs.v.fanin(ci)
+		for pin, net := range fanin {
 			w := fs.fval(net)
 			if ci == faultCell && pin == faultPin {
 				w = sa
 			}
 			ins[pin] = w
 		}
-		return logicsim.EvalWords(c.Cell.Kind, ins[:len(c.Ins)])
+		return logicsim.EvalWords(fs.v.CellKind[ci], ins[:len(fanin)])
 	}
 
 	for lvl := 1; lvl < len(fs.buckets); lvl++ {
@@ -188,8 +217,7 @@ func (fs *FaultSim) Detects(f fault.Fault, b *Batch, earlyExit bool) uint64 {
 		for bi := 0; bi < len(bucket); bi++ {
 			ci := bucket[bi]
 			fs.queued[ci] = false
-			c := &fs.v.N.Cells[ci]
-			out := c.Out
+			out := fs.v.CellOut[ci]
 			var nf uint64
 			if cv := fs.v.ConstVal[out]; cv >= 0 {
 				nf = fs.good[out]
@@ -237,9 +265,12 @@ func (fs *FaultSim) enqueue(ci netlist.CellID) {
 }
 
 func (fs *FaultSim) enqueueLoads(net netlist.NetID) {
-	for _, ld := range fs.v.Fan[net] {
-		if ld.Cell != netlist.NoCell {
-			fs.enqueue(ld.Cell)
+	// combLoads is pre-filtered to live combinational cells, so the
+	// Comb check in enqueue is already paid for the whole net.
+	for _, ci := range fs.v.combLoads(net) {
+		if !fs.queued[ci] {
+			fs.queued[ci] = true
+			fs.buckets[fs.v.Level[ci]] = append(fs.buckets[fs.v.Level[ci]], ci)
 		}
 	}
 }

@@ -25,6 +25,12 @@ import (
 type simPool struct {
 	ctx  context.Context
 	sims []*FaultSim
+
+	// noDom disables the dominance shortcut (property tests compare runs
+	// with and without it).
+	noDom bool
+	// plan is the cached dominance schedule for the current reps slice.
+	plan *domPlan
 }
 
 // newSimPool builds a pool of workers shards over the view. workers <= 0
@@ -42,6 +48,13 @@ func newSimPool(ctx context.Context, v *View, workers int) *simPool {
 	return p
 }
 
+// Release returns every shard's propagation buffers to the scratch pool.
+func (p *simPool) Release() {
+	for _, fs := range p.sims {
+		fs.Release()
+	}
+}
+
 // NewBatch allocates an empty batch for the pool's view.
 func (p *simPool) NewBatch() *Batch { return p.sims[0].NewBatch() }
 
@@ -49,20 +62,93 @@ func (p *simPool) NewBatch() *Batch { return p.sims[0].NewBatch() }
 // shard; the shared good plane becomes visible to every shard.
 func (p *simPool) SimGood(b *Batch) { p.sims[0].SimGood(b) }
 
+// domPlan schedules a reps slice for two-phase detection: leaf classes
+// (no dominance children) first, then parent classes, which can inherit a
+// nonzero detection word from any already-computed leaf child instead of
+// simulating. Valid only for boolean (early-exit) consumers: the
+// inherited word proves detection but is not the parent's exact word.
+type domPlan struct {
+	reps      []int32 // identity key: same backing array ⇒ same plan
+	leafPos   []int32 // positions in reps with no dominance children
+	parentPos []int32 // positions with at least one child
+	childPos  [][]int32 // per parent position: leaf-child positions
+}
+
+func buildDomPlan(set *fault.Set, reps []int32) *domPlan {
+	pl := &domPlan{reps: reps, childPos: make([][]int32, len(reps))}
+	pos := make(map[int32]int32, len(reps))
+	isLeaf := make([]bool, len(reps))
+	for i, r := range reps {
+		c := set.ClassIndex(r)
+		pos[c] = int32(i)
+		isLeaf[i] = len(set.DomChildren(c)) == 0
+	}
+	for i, r := range reps {
+		if isLeaf[i] {
+			pl.leafPos = append(pl.leafPos, int32(i))
+			continue
+		}
+		pl.parentPos = append(pl.parentPos, int32(i))
+		var cps []int32
+		for _, cc := range set.DomChildren(set.ClassIndex(r)) {
+			// Only children computed in the leaf phase may be consulted;
+			// parent children run concurrently in this phase.
+			if cp, ok := pos[cc]; ok && isLeaf[cp] {
+				cps = append(cps, cp)
+			}
+		}
+		pl.childPos[i] = cps
+	}
+	return pl
+}
+
 // detectEach fills out[i] with the detection word of fault class reps[i]
 // against the last SimGood batch, sharding the fault list across the
 // pool. Classes rejected by include get 0. include must not mutate
 // anything (it is called concurrently); out must have len(reps). When the
 // pool's context is cancelled mid-call, out is left partially filled —
 // the caller must observe ctx.Err() before using it.
+//
+// With earlyExit the caller only consumes out[i] != 0, which licenses the
+// dominance shortcut: a parent class whose leaf child already produced a
+// nonzero word inherits that word (det(child) ⊆ det(parent)) and skips
+// its own propagation. Exact-word consumers (compaction) pass
+// earlyExit=false and always get true per-class words.
 func (p *simPool) detectEach(reps []int32, set *fault.Set, b *Batch, earlyExit bool, include func(int32) bool, out []uint64) {
-	parFor(p.ctx, len(reps), len(p.sims), func(shard, i int) {
+	sim := func(shard, i int) {
 		r := reps[i]
 		if include(r) {
 			out[i] = p.sims[shard].Detects(set.Faults[r], b, earlyExit)
 		} else {
 			out[i] = 0
 		}
+	}
+	if !earlyExit || p.noDom {
+		parFor(p.ctx, len(reps), len(p.sims), sim)
+		return
+	}
+	if p.plan == nil || len(p.plan.reps) != len(reps) ||
+		(len(reps) > 0 && &p.plan.reps[0] != &reps[0]) {
+		p.plan = buildDomPlan(set, reps)
+	}
+	pl := p.plan
+	parFor(p.ctx, len(pl.leafPos), len(p.sims), func(shard, k int) {
+		sim(shard, int(pl.leafPos[k]))
+	})
+	parFor(p.ctx, len(pl.parentPos), len(p.sims), func(shard, k int) {
+		i := int(pl.parentPos[k])
+		r := reps[i]
+		if !include(r) {
+			out[i] = 0
+			return
+		}
+		for _, cp := range pl.childPos[i] {
+			if w := out[cp]; w != 0 {
+				out[i] = w
+				return
+			}
+		}
+		out[i] = p.sims[shard].Detects(set.Faults[r], b, true)
 	})
 }
 

@@ -178,7 +178,7 @@ func (p *podem) objective(f fault.Fault) (netlist.NetID, uint8, objState) {
 	var best netlist.CellID = netlist.NoCell
 	bestCO := testability.Inf + 1
 	for _, ci := range p.s.frontier() {
-		out := p.v.N.Cells[ci].Out
+		out := p.v.CellOut[ci]
 		if !p.s.xpathFrom(out) {
 			continue
 		}
@@ -197,11 +197,11 @@ func (p *podem) objective(f fault.Fault) (netlist.NetID, uint8, objState) {
 // through frontier cell ci: an X side-input set to its non-controlling
 // (sensitizing) value.
 func (p *podem) propObjective(ci netlist.CellID) (netlist.NetID, uint8, objState) {
-	c := &p.v.N.Cells[ci]
+	ins := p.v.fanin(ci)
 	// Locate a fault-effect input (for MUX/AOI the requirement depends on
 	// which pin carries the effect).
 	dPin := -1
-	for pin := range c.Ins {
+	for pin := range ins {
 		if v := p.s.pinComp(ci, pin); v == cD || v == cDB {
 			dPin = pin
 			break
@@ -209,25 +209,25 @@ func (p *podem) propObjective(ci netlist.CellID) (netlist.NetID, uint8, objState
 	}
 	pickX := func(pin int, val uint8) (netlist.NetID, uint8, bool) {
 		if pin != dPin && p.s.pinComp(ci, pin) == cX {
-			return c.Ins[pin], val, true
+			return ins[pin], val, true
 		}
 		return 0, 0, false
 	}
-	switch c.Cell.Kind {
+	switch p.v.CellKind[ci] {
 	case stdcell.KindAnd, stdcell.KindNand:
-		for pin := range c.Ins {
+		for pin := range ins {
 			if n, v, ok := pickX(pin, l1); ok {
 				return n, v, objOK
 			}
 		}
 	case stdcell.KindOr, stdcell.KindNor:
-		for pin := range c.Ins {
+		for pin := range ins {
 			if n, v, ok := pickX(pin, l0); ok {
 				return n, v, objOK
 			}
 		}
 	case stdcell.KindXor, stdcell.KindXnor:
-		for pin := range c.Ins {
+		for pin := range ins {
 			if n, v, ok := pickX(pin, l0); ok {
 				return n, v, objOK
 			}
@@ -277,14 +277,14 @@ func (p *podem) propObjective(ci netlist.CellID) (netlist.NetID, uint8, objState
 		default:
 			// Effect on select: data inputs must differ; nudge an X data
 			// input toward the complement of the other.
-			other := p.s.G[c.Ins[1]]
+			other := p.s.G[ins[1]]
 			if other == lX {
 				other = l1
 			}
 			if n, _, ok := pickX(0, 0); ok {
 				return n, 1 - other, objOK
 			}
-			otherA := p.s.G[c.Ins[0]]
+			otherA := p.s.G[ins[0]]
 			if otherA == lX {
 				otherA = l1
 			}
@@ -311,8 +311,7 @@ func (p *podem) backtrace(net netlist.NetID, val uint8) (netlist.NetID, uint8, b
 		if d == netlist.NoCell || !p.v.Comb(d) {
 			return 0, 0, false
 		}
-		c := &p.v.N.Cells[d]
-		nn, nv, ok := p.chooseInput(c, val)
+		nn, nv, ok := p.chooseInput(d, val)
 		if !ok {
 			return 0, 0, false
 		}
@@ -322,24 +321,25 @@ func (p *podem) backtrace(net netlist.NetID, val uint8) (netlist.NetID, uint8, b
 }
 
 // chooseInput picks the next (net, value) one gate back from an objective.
-func (p *podem) chooseInput(c *netlist.Instance, v uint8) (netlist.NetID, uint8, bool) {
+func (p *podem) chooseInput(ci netlist.CellID, v uint8) (netlist.NetID, uint8, bool) {
 	cc := func(net netlist.NetID, bit uint8) int32 {
 		if bit == l0 {
 			return p.ta.CC0[net]
 		}
 		return p.ta.CC1[net]
 	}
+	in := p.v.fanin(ci)
 	// pick selects the X input minimizing (or maximizing) cc(input, bit).
 	pick := func(bit uint8, hardest bool) (netlist.NetID, uint8, bool) {
 		var bestNet netlist.NetID = netlist.NoNet
 		var bestCost int32
-		for _, in := range c.Ins {
-			if p.s.G[in] != lX {
+		for _, n := range in {
+			if p.s.G[n] != lX {
 				continue
 			}
-			cost := cc(in, bit)
+			cost := cc(n, bit)
 			if bestNet == netlist.NoNet || (hardest && cost > bestCost) || (!hardest && cost < bestCost) {
-				bestNet, bestCost = in, cost
+				bestNet, bestCost = n, cost
 			}
 		}
 		if bestNet == netlist.NoNet {
@@ -347,8 +347,7 @@ func (p *podem) chooseInput(c *netlist.Instance, v uint8) (netlist.NetID, uint8,
 		}
 		return bestNet, bit, true
 	}
-	in := c.Ins
-	switch c.Cell.Kind {
+	switch p.v.CellKind[ci] {
 	case stdcell.KindInv:
 		return in[0], 1 - v, p.s.G[in[0]] == lX
 	case stdcell.KindBuf:
@@ -375,7 +374,7 @@ func (p *podem) chooseInput(c *netlist.Instance, v uint8) (netlist.NetID, uint8,
 		return pick(l1, false)
 	case stdcell.KindXor, stdcell.KindXnor:
 		want := v
-		if c.Cell.Kind == stdcell.KindXnor {
+		if p.v.CellKind[ci] == stdcell.KindXnor {
 			want = 1 - v
 		}
 		// If one input is known, the other is forced; otherwise guess 0

@@ -1,0 +1,87 @@
+package atpg
+
+import (
+	"sync"
+
+	"tpilayout/internal/netlist"
+)
+
+// simScratch bundles the per-shard propagation buffers of a FaultSim.
+// The buffers are recycled through a sync.Pool so that a sweep running
+// six flow levels (each with its own ATPG run and shard fan-out) reuses
+// one working set instead of reallocating per level.
+type simScratch struct {
+	good    []uint64
+	faulty  []uint64
+	stamp   []int32
+	queued  []bool
+	buckets [][]netlist.CellID
+}
+
+var scratchPool = sync.Pool{New: func() any { return &simScratch{} }}
+
+// getScratch returns a scratch sized for nets/cells/levels with clean
+// stamps and queue flags (faulty values are guarded by stamps and need no
+// clearing). Growth is monotone: a recycled scratch keeps its capacity.
+func getScratch(nets, cells, levels int) *simScratch {
+	s := scratchPool.Get().(*simScratch)
+	s.faulty = growU64(s.faulty, nets)
+	if cap(s.stamp) < nets {
+		s.stamp = make([]int32, nets)
+	} else {
+		s.stamp = s.stamp[:nets]
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+	}
+	if cap(s.queued) < cells {
+		s.queued = make([]bool, cells)
+	} else {
+		s.queued = s.queued[:cells]
+		for i := range s.queued {
+			s.queued[i] = false
+		}
+	}
+	if cap(s.buckets) < levels {
+		s.buckets = make([][]netlist.CellID, levels)
+	} else {
+		s.buckets = s.buckets[:levels]
+		for i := range s.buckets {
+			s.buckets[i] = s.buckets[i][:0]
+		}
+	}
+	return s
+}
+
+// ensureGood sizes the shared good plane; only the master shard uses it.
+func (s *simScratch) ensureGood(nets int) {
+	s.good = growU64(s.good, nets)
+}
+
+func putScratch(s *simScratch) { scratchPool.Put(s) }
+
+// growU64 resizes a word buffer without clearing (callers fully overwrite
+// or stamp-guard the contents).
+func growU64(w []uint64, n int) []uint64 {
+	if cap(w) < n {
+		return make([]uint64, n)
+	}
+	return w[:n]
+}
+
+// wordPool recycles the per-class detection-word buffers of the drop and
+// compaction passes.
+var wordPool = sync.Pool{New: func() any { return new([]uint64) }}
+
+func getWords(n int) []uint64 {
+	p := wordPool.Get().(*[]uint64)
+	*p = growU64(*p, n)
+	return *p
+}
+
+func putWords(w []uint64) {
+	if w == nil {
+		return
+	}
+	wordPool.Put(&w)
+}

@@ -22,9 +22,11 @@ type sim5 struct {
 	// propagation needed.
 	directObs bool
 
-	// Level-bucketed event queue.
+	// Level-bucketed event queue; nq counts pending events so run()
+	// stops as soon as the queue drains instead of scanning every level.
 	buckets [][]netlist.CellID
 	queued  []bool
+	nq      int
 
 	// D-frontier candidates (cells that recently had a D input and an X
 	// output). frontier() filters them.
@@ -79,21 +81,21 @@ func newSim5(v *View) *sim5 {
 	}
 	tmp := s.baseline
 	for _, ci := range v.Order {
-		c := &v.N.Cells[ci]
-		if v.ConstVal[c.Out] >= 0 {
+		out := v.CellOut[ci]
+		if v.ConstVal[out] >= 0 {
 			continue
 		}
-		tmp[c.Out] = eval3(c.Cell.Kind, s.gather(c, tmp, netlist.NoCell))
+		tmp[out] = eval3(v.CellKind[ci], s.gather(ci, tmp, netlist.NoCell))
 	}
 	return s
 }
 
-// gather collects three-valued input values for cell c from plane vals,
+// gather collects three-valued input values for cell ci from plane vals,
 // substituting the injected stuck value on the faulty branch pin when
-// cell == s.fCell (pass NoCell to disable substitution).
-func (s *sim5) gather(c *netlist.Instance, vals []uint8, faultCell netlist.CellID) []uint8 {
+// faultCell == s.fCell == ci (pass NoCell to disable substitution).
+func (s *sim5) gather(ci netlist.CellID, vals []uint8, faultCell netlist.CellID) []uint8 {
 	ins := s.ins[:0]
-	for pin, net := range c.Ins {
+	for pin, net := range s.v.fanin(ci) {
 		val := vals[net]
 		if faultCell != netlist.NoCell && s.fCell == faultCell && pin == s.fPin {
 			val = s.fSA
@@ -133,7 +135,7 @@ func (s *sim5) installFault(f fault.Fault) {
 	s.fPin = -1
 	s.directObs = false
 	if f.Load != fault.StemLoad {
-		ld := s.v.Fan[f.Net][f.Load]
+		ld := s.v.fanout(f.Net)[f.Load]
 		s.fCell = ld.Cell
 		s.fPin = ld.Pin
 		if ld.Cell != netlist.NoCell && !s.v.Comb(ld.Cell) {
@@ -173,14 +175,21 @@ func (s *sim5) enqueue(ci netlist.CellID) {
 		return
 	}
 	s.queued[ci] = true
+	s.nq++
 	lvl := s.v.Level[ci]
 	s.buckets[lvl] = append(s.buckets[lvl], ci)
 }
 
 func (s *sim5) enqueueLoads(net netlist.NetID) {
-	for _, ld := range s.v.Fan[net] {
-		if ld.Cell != netlist.NoCell {
-			s.enqueue(ld.Cell)
+	// CombLoadCells is pre-filtered to live combinational cells, so the
+	// Comb check in enqueue is already paid for the whole net.
+	for p, end := s.v.CombLoadIdx[net], s.v.CombLoadIdx[net+1]; p < end; p++ {
+		ci := s.v.CombLoadCells[p]
+		if !s.queued[ci] {
+			s.queued[ci] = true
+			s.nq++
+			lvl := s.v.Level[ci]
+			s.buckets[lvl] = append(s.buckets[lvl], ci)
 		}
 	}
 }
@@ -216,22 +225,55 @@ func (s *sim5) updateSink(net netlist.NetID) {
 	}
 }
 
-// run drains the event queue level by level.
+// run drains the event queue level by level. The inner loop fuses what
+// used to be three fanin walks — good-plane gather, faulty-plane gather,
+// and the hasDInput D-frontier scan — into one pass, and skips the
+// faulty-plane evaluation entirely when no input pin differs between the
+// planes (the common case for events outside the fault cone, where the
+// faulty plane just mirrors the good plane).
 func (s *sim5) run() {
-	for lvl := 1; lvl < len(s.buckets); lvl++ {
+	var insG, insF [16]uint8
+	stem := s.fCell == netlist.NoCell
+	for lvl := 1; lvl < len(s.buckets) && s.nq > 0; lvl++ {
 		bucket := s.buckets[lvl]
+		if len(bucket) == 0 {
+			continue
+		}
 		for bi := 0; bi < len(bucket); bi++ {
 			ci := bucket[bi]
 			s.queued[ci] = false
-			c := &s.v.N.Cells[ci]
-			out := c.Out
+			s.nq--
+			out := s.v.CellOut[ci]
 			var ng, nf uint8
+			hasD := false
 			if cv := s.v.ConstVal[out]; cv >= 0 {
 				ng, nf = uint8(cv), uint8(cv)
 			} else {
-				ng = eval3(c.Cell.Kind, s.gather(c, s.G, netlist.NoCell))
-				nf = eval3(c.Cell.Kind, s.gather(c, s.F, ci))
-				if s.fCell == netlist.NoCell && out == s.fNet {
+				fanin := s.v.fanin(ci)
+				faultCell := ci == s.fCell
+				diff := false
+				for pin, net := range fanin {
+					g, f := s.G[net], s.F[net]
+					if faultCell && pin == s.fPin {
+						f = s.fSA
+					}
+					insG[pin] = g
+					insF[pin] = f
+					if g != f {
+						diff = true
+						if g != lX && f != lX {
+							hasD = true
+						}
+					}
+				}
+				kind := s.v.CellKind[ci]
+				ng = eval3(kind, insG[:len(fanin)])
+				if diff {
+					nf = eval3(kind, insF[:len(fanin)])
+				} else {
+					nf = ng
+				}
+				if stem && out == s.fNet {
 					nf = s.fSA
 				}
 			}
@@ -241,7 +283,7 @@ func (s *sim5) run() {
 				s.updateSink(out)
 			}
 			// Track D-frontier candidates.
-			if (ng == lX || nf == lX) && s.hasDInput(c, ci) && !s.inCand[ci] {
+			if (ng == lX || nf == lX) && hasD && !s.inCand[ci] {
 				s.inCand[ci] = true
 				s.cand = append(s.cand, ci)
 			}
@@ -271,7 +313,7 @@ func (s *sim5) comp(net netlist.NetID) uint8 {
 // pinComp is comp() for a specific cell input pin, honoring branch-fault
 // substitution.
 func (s *sim5) pinComp(ci netlist.CellID, pin int) uint8 {
-	net := s.v.N.Cells[ci].Ins[pin]
+	net := s.v.fanin(ci)[pin]
 	g := s.G[net]
 	f := s.F[net]
 	if ci == s.fCell && pin == s.fPin {
@@ -289,9 +331,9 @@ func (s *sim5) pinComp(ci netlist.CellID, pin int) uint8 {
 	}
 }
 
-// hasDInput reports whether any input pin of c carries a fault effect.
-func (s *sim5) hasDInput(c *netlist.Instance, ci netlist.CellID) bool {
-	for pin := range c.Ins {
+// hasDInput reports whether any input pin of ci carries a fault effect.
+func (s *sim5) hasDInput(ci netlist.CellID) bool {
+	for pin := range s.v.fanin(ci) {
 		if v := s.pinComp(ci, pin); v == cD || v == cDB {
 			return true
 		}
@@ -312,8 +354,7 @@ func (s *sim5) detected() bool {
 func (s *sim5) frontier() []netlist.CellID {
 	out := s.cand[:0]
 	for _, ci := range s.cand {
-		c := &s.v.N.Cells[ci]
-		if s.comp(c.Out) == cX && s.hasDInput(c, ci) {
+		if s.comp(s.v.CellOut[ci]) == cX && s.hasDInput(ci) {
 			out = append(out, ci)
 		} else {
 			s.inCand[ci] = false
@@ -337,17 +378,11 @@ func (s *sim5) xpath(net netlist.NetID) bool {
 		return false
 	}
 	s.xpVisit[net] = s.xpEpoch
-	for _, ld := range s.v.Fan[net] {
-		if ld.Cell == netlist.NoCell {
-			continue
-		}
-		c := &s.v.N.Cells[ld.Cell]
-		if !s.v.Comb(ld.Cell) {
-			// Non-combinational load: a flip-flop input pin. A d pin is
-			// itself a sink net, handled by IsSink above.
-			continue
-		}
-		if s.comp(c.Out) == cX && s.xpath(c.Out) {
+	// Only combinational loads can extend the path: a flip-flop d pin is
+	// itself a sink net, handled by IsSink above.
+	for _, ci := range s.v.combLoads(net) {
+		out := s.v.CellOut[ci]
+		if s.comp(out) == cX && s.xpath(out) {
 			return true
 		}
 	}

@@ -37,12 +37,36 @@ type View struct {
 	Order []netlist.CellID
 	Level []int
 
-	// Fan is the netlist fanout index, captured at view construction.
-	Fan [][]netlist.Load
+	// CSR is the flat netlist adjacency, captured at view construction.
+	CSR *netlist.CSR
+
+	// CombLoadIdx/CombLoadCells are a per-net CSR of the combinational
+	// load cells only — the set event propagation actually enqueues — so
+	// the hot enqueueLoads loops scan a dense int32 array instead of
+	// filtering the full Load list (POs, flip-flops) on every event.
+	CombLoadIdx   []int32
+	CombLoadCells []netlist.CellID
+
+	// CellKind and CellOut are flat per-CellID copies of the instance
+	// kind and output net, so hot simulation loops touch two dense
+	// arrays instead of the Instance structs.
+	CellKind []stdcell.Kind
+	CellOut  []netlist.NetID
 
 	// MaxLevel is the deepest cell level.
 	MaxLevel int
 }
+
+// fanout returns the loads of a net from the flat adjacency.
+func (v *View) fanout(net netlist.NetID) []netlist.Load { return v.CSR.Fanout(net) }
+
+// combLoads returns the combinational load cells of a net.
+func (v *View) combLoads(net netlist.NetID) []netlist.CellID {
+	return v.CombLoadCells[v.CombLoadIdx[net]:v.CombLoadIdx[net+1]]
+}
+
+// fanin returns the input nets of a cell, aligned with Instance.Ins.
+func (v *View) fanin(ci netlist.CellID) []netlist.NetID { return v.CSR.Fanin(ci) }
 
 // NewView builds the capture-mode view. constraints freezes nets to
 // constants for the whole ATPG run.
@@ -58,8 +82,35 @@ func NewView(n *netlist.Netlist, constraints map[netlist.NetID]int8) (*View, err
 		ConstVal: make([]int8, len(n.Nets)),
 		Order:    lv.Order,
 		Level:    lv.CellLevel,
-		Fan:      n.Fanouts(),
+		CSR:      n.CSR(),
+		CellKind: make([]stdcell.Kind, len(n.Cells)),
+		CellOut:  make([]netlist.NetID, len(n.Cells)),
 		MaxLevel: lv.MaxLevel,
+	}
+	for i := range n.Cells {
+		v.CellKind[i] = n.Cells[i].Cell.Kind
+		v.CellOut[i] = n.Cells[i].Out
+	}
+	v.CombLoadIdx = make([]int32, len(n.Nets)+1)
+	for id := range n.Nets {
+		for _, ld := range v.CSR.Fanout(netlist.NetID(id)) {
+			if ld.Cell != netlist.NoCell && lv.CellLevel[ld.Cell] >= 0 {
+				v.CombLoadIdx[id+1]++
+			}
+		}
+	}
+	for i := 1; i <= len(n.Nets); i++ {
+		v.CombLoadIdx[i] += v.CombLoadIdx[i-1]
+	}
+	v.CombLoadCells = make([]netlist.CellID, v.CombLoadIdx[len(n.Nets)])
+	cursor := append([]int32(nil), v.CombLoadIdx[:len(n.Nets)]...)
+	for id := range n.Nets {
+		for _, ld := range v.CSR.Fanout(netlist.NetID(id)) {
+			if ld.Cell != netlist.NoCell && lv.CellLevel[ld.Cell] >= 0 {
+				v.CombLoadCells[cursor[id]] = ld.Cell
+				cursor[id]++
+			}
+		}
 	}
 	for i := range v.SourceOf {
 		v.SourceOf[i] = -1
@@ -164,39 +215,35 @@ func eval3(kind stdcell.Kind, in []uint8) uint8 {
 	panic("atpg: eval3 on non-logic cell")
 }
 
-func not3(a uint8) uint8 {
-	if a == lX {
-		return lX
+// Branch-free truth tables for the three-valued operators (indexed by
+// l0/l1/lX); measurably faster than the equivalent comparisons inside
+// the PODEM event loop.
+var (
+	not3T = [3]uint8{l1, l0, lX}
+	and3T = [3][3]uint8{
+		{l0, l0, l0},
+		{l0, l1, lX},
+		{l0, lX, lX},
 	}
-	return 1 - a
-}
+	or3T = [3][3]uint8{
+		{l0, l1, lX},
+		{l1, l1, l1},
+		{lX, l1, lX},
+	}
+	xor3T = [3][3]uint8{
+		{l0, l1, lX},
+		{l1, l0, lX},
+		{lX, lX, lX},
+	}
+)
 
-func and3(a, b uint8) uint8 {
-	if a == l0 || b == l0 {
-		return l0
-	}
-	if a == lX || b == lX {
-		return lX
-	}
-	return l1
-}
+func not3(a uint8) uint8 { return not3T[a] }
 
-func xor3(a, b uint8) uint8 {
-	if a == lX || b == lX {
-		return lX
-	}
-	return a ^ b
-}
+func and3(a, b uint8) uint8 { return and3T[a][b] }
 
-func or3(a, b uint8) uint8 {
-	if a == l1 || b == l1 {
-		return l1
-	}
-	if a == lX || b == lX {
-		return lX
-	}
-	return l0
-}
+func xor3(a, b uint8) uint8 { return xor3T[a][b] }
+
+func or3(a, b uint8) uint8 { return or3T[a][b] }
 
 func and3n(in []uint8) uint8 {
 	r := l1

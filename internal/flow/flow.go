@@ -120,8 +120,13 @@ type Metrics struct {
 	Chains   int
 	LMax     int
 	Faults   int
-	FC, FE   float64 // percent
-	Patterns int
+	// FaultClasses / CollapsedClasses mirror the ATPG result's structural
+	// collapsing counters: equivalence classes, and classes remaining
+	// after dominance removal. FC/FE stay defined over the full universe.
+	FaultClasses     int
+	CollapsedClasses int
+	FC, FE           float64 // percent
+	Patterns         int
 	TDV      int64 // bits
 	TAT      int64 // cycles
 
@@ -168,7 +173,20 @@ func Run(design *netlist.Netlist, cfg Config) (*Result, error) {
 // failing stage, and panics are isolated into errors. A cancellation
 // lands within one work unit (one PODEM fault, one bisection cut, one
 // routed net), not one flow.
-func RunContext(ctx context.Context, design *netlist.Netlist, cfg Config) (res *Result, err error) {
+func RunContext(ctx context.Context, design *netlist.Netlist, cfg Config) (*Result, error) {
+	// Validate before cloning: an invalid config must fail without
+	// touching the design at all.
+	if verr := cfg.Validate(); verr != nil {
+		return nil, newStageError(StageConfig, cfg.TPPercent, verr)
+	}
+	return RunInPlace(ctx, design.Clone(), cfg)
+}
+
+// RunInPlace is RunContext without the defensive clone: the flow edits
+// design directly and Result.Netlist is design itself. Callers that
+// already hold a private copy (the sweep engine clones once per level
+// from a prewarmed base circuit) use this to avoid the double clone.
+func RunInPlace(ctx context.Context, design *netlist.Netlist, cfg Config) (res *Result, err error) {
 	if verr := cfg.Validate(); verr != nil {
 		return nil, newStageError(StageConfig, cfg.TPPercent, verr)
 	}
@@ -193,7 +211,7 @@ func RunContext(ctx context.Context, design *netlist.Netlist, cfg Config) (res *
 	}
 	fail := func(e error) error { return newStageError(stage, cfg.TPPercent, e) }
 
-	n := design.Clone()
+	n := design
 	res = &Result{Netlist: n}
 	res.Metrics.Circuit = n.Name
 
@@ -396,7 +414,7 @@ func onDfT(n *netlist.Netlist, f fault.Fault) bool {
 		return true
 	}
 	if f.Load != fault.StemLoad {
-		ld := n.Fanouts()[f.Net][f.Load]
+		ld := n.CSR().Fanout(f.Net)[f.Load]
 		return isDfT(ld.Cell)
 	}
 	return false
@@ -413,6 +431,8 @@ func (r *Result) fillMetrics(tpCount int, fillerArea float64) {
 	m.Truncated = r.Truncated
 	if r.Faults != nil {
 		m.Faults = r.Faults.Total()
+		m.FaultClasses = r.ATPG.FaultClasses
+		m.CollapsedClasses = r.ATPG.CollapsedClasses
 		fc, fe := r.Faults.Coverage()
 		m.FC = fc * 100
 		m.FE = fe * 100

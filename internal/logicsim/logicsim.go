@@ -135,6 +135,55 @@ func EvalCell(c *netlist.Instance, val []uint64) uint64 {
 	panic(fmt.Sprintf("logicsim: cannot evaluate %s cell", c.Cell.Kind))
 }
 
+// EvalNets evaluates a cell kind whose input nets are given as a flat
+// NetID slice (e.g. a CSR fanin row) against a net-value array. It is the
+// Instance-free twin of EvalCell for hot loops that iterate dense
+// per-cell arrays instead of chasing Instance structs.
+func EvalNets(kind stdcell.Kind, ins []netlist.NetID, val []uint64) uint64 {
+	switch kind {
+	case stdcell.KindInv:
+		return ^val[ins[0]]
+	case stdcell.KindBuf:
+		return val[ins[0]]
+	case stdcell.KindNand:
+		w := ^uint64(0)
+		for _, in := range ins {
+			w &= val[in]
+		}
+		return ^w
+	case stdcell.KindNor:
+		w := uint64(0)
+		for _, in := range ins {
+			w |= val[in]
+		}
+		return ^w
+	case stdcell.KindAnd:
+		w := ^uint64(0)
+		for _, in := range ins {
+			w &= val[in]
+		}
+		return w
+	case stdcell.KindOr:
+		w := uint64(0)
+		for _, in := range ins {
+			w |= val[in]
+		}
+		return w
+	case stdcell.KindXor:
+		return val[ins[0]] ^ val[ins[1]]
+	case stdcell.KindXnor:
+		return ^(val[ins[0]] ^ val[ins[1]])
+	case stdcell.KindAoi21:
+		return ^((val[ins[0]] & val[ins[1]]) | val[ins[2]])
+	case stdcell.KindOai21:
+		return ^((val[ins[0]] | val[ins[1]]) & val[ins[2]])
+	case stdcell.KindMux2:
+		a, b, sel := val[ins[0]], val[ins[1]], val[ins[2]]
+		return (sel & b) | (^sel & a)
+	}
+	panic(fmt.Sprintf("logicsim: cannot evaluate %s kind", kind))
+}
+
 // EvalWords evaluates a cell kind over explicit input words, used by unit
 // tests and by fault injection on input pins.
 func EvalWords(kind stdcell.Kind, in []uint64) uint64 {

@@ -39,7 +39,23 @@ func (n *Netlist) SwapCell(id CellID, newCellName string, extra map[string]NetID
 				inst.Cell.Name, newCellName, nc.Inputs[i].Name)
 		}
 	}
-	n.dirty()
+	// A swap to a same-kind variant with an identical pin→net mapping
+	// (the drive-strength upgrades of timing optimization) changes only
+	// cell attributes: adjacency and levelization stay valid.
+	sameConn := nc.Kind == inst.Cell.Kind && len(ins) == len(inst.Ins)
+	if sameConn {
+		for i := range ins {
+			if ins[i] != inst.Ins[i] {
+				sameConn = false
+				break
+			}
+		}
+	}
+	if sameConn {
+		n.dirtyAttr()
+	} else {
+		n.dirty()
+	}
 	inst.Cell = nc
 	inst.Ins = ins
 	return nil
@@ -146,7 +162,11 @@ func (n *Netlist) Validate() error {
 	return nil
 }
 
-// Clone returns a deep copy of the netlist (sharing the immutable library).
+// Clone returns a deep copy of the netlist (sharing the immutable
+// library). Derived-structure caches (CSR, fanout view, levelization) are
+// immutable per connectivity revision, so the clone shares the cached
+// pointers: a sweep level cloned from a prewarmed base circuit pays no
+// rebuild until its first connectivity edit.
 func (n *Netlist) Clone() *Netlist {
 	out := &Netlist{
 		Name:    n.Name,
@@ -156,6 +176,15 @@ func (n *Netlist) Clone() *Netlist {
 		PIs:     append([]Port(nil), n.PIs...),
 		POs:     append([]Port(nil), n.POs...),
 		Domains: append([]Domain(nil), n.Domains...),
+
+		connRev:    n.connRev,
+		attrRev:    n.attrRev,
+		csr:        n.csr,
+		csrRev:     n.csrRev,
+		fanouts:    n.fanouts,
+		fanoutsRev: n.fanoutsRev,
+		levels:     n.levels,
+		levelsRev:  n.levelsRev,
 	}
 	for i := range n.Cells {
 		c := n.Cells[i]

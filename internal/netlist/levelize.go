@@ -21,7 +21,21 @@ type Levels struct {
 
 // Levelize computes the topological order of the combinational core. It
 // returns an error naming a cell on a combinational cycle if one exists.
+// The result is cached per connectivity revision (attribute-only edits do
+// not invalidate it) and must not be modified.
 func (n *Netlist) Levelize() (*Levels, error) {
+	if n.levels != nil && n.levelsRev == n.connRev {
+		return n.levels, nil
+	}
+	lv, err := n.levelize()
+	if err != nil {
+		return nil, err
+	}
+	n.levels, n.levelsRev = lv, n.connRev
+	return lv, nil
+}
+
+func (n *Netlist) levelize() (*Levels, error) {
 	lv := &Levels{
 		CellLevel: make([]int, len(n.Cells)),
 		NetLevel:  make([]int, len(n.Nets)),
@@ -48,7 +62,7 @@ func (n *Netlist) Levelize() (*Levels, error) {
 			ready = append(ready, CellID(ci))
 		}
 	}
-	fan := n.Fanouts()
+	csr := n.CSR()
 	lv.Order = make([]CellID, 0, comb)
 	for len(ready) > 0 {
 		ci := ready[0]
@@ -70,7 +84,7 @@ func (n *Netlist) Levelize() (*Levels, error) {
 			continue
 		}
 		lv.NetLevel[c.Out] = level
-		for _, ld := range fan[c.Out] {
+		for _, ld := range csr.Fanout(c.Out) {
 			if ld.Cell == NoCell {
 				continue
 			}

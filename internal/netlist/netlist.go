@@ -100,8 +100,20 @@ type Netlist struct {
 	POs     []Port
 	Domains []Domain
 
-	fanouts   [][]Load // lazily built; nil when dirty
-	levelsGen int      // bumped on every structural edit
+	// Derived-structure caches. Each is (re)built lazily and keyed on
+	// connRev, the connectivity revision: only edits that change the
+	// net↔pin graph (add/kill/rewire) bump it. Attribute-only edits
+	// (drive-strength swaps that keep the same kind and pin→net map)
+	// bump attrRev instead and leave the caches valid — this is what
+	// keeps STA/placement design iterations from rebuilding adjacency.
+	connRev    uint64
+	attrRev    uint64
+	csr        *CSR
+	csrRev     uint64
+	fanouts    [][]Load
+	fanoutsRev uint64
+	levels     *Levels
+	levelsRev  uint64
 }
 
 // Load is one sink of a net: either pin Pin of cell Cell, or primary
@@ -195,37 +207,45 @@ func (n *Netlist) Cell(id CellID) *Instance { return &n.Cells[id] }
 // Net returns the net for id.
 func (n *Netlist) Net(id NetID) *Net { return &n.Nets[id] }
 
-// dirty invalidates derived indices after a structural edit.
-func (n *Netlist) dirty() {
-	n.fanouts = nil
-	n.levelsGen++
-}
+// dirty invalidates derived indices after a connectivity edit. It is the
+// conservative default; edits that provably keep the net↔pin graph intact
+// call dirtyAttr instead.
+func (n *Netlist) dirty() { n.connRev++ }
 
-// Fanouts returns the sink list of every net. The index is rebuilt lazily
-// after structural edits; the returned slices must not be modified.
+// dirtyAttr records an attribute-only edit (cell variant swap with an
+// identical pin→net mapping): adjacency, levelization, and the CSR stay
+// valid.
+func (n *Netlist) dirtyAttr() { n.attrRev++ }
+
+// Fanouts returns the sink list of every net as a per-net slice view over
+// the CSR adjacency. The index is rebuilt lazily after connectivity edits;
+// the returned slices must not be modified.
 func (n *Netlist) Fanouts() [][]Load {
-	if n.fanouts != nil {
+	if n.fanouts != nil && n.fanoutsRev == n.connRev {
 		return n.fanouts
 	}
+	csr := n.CSR()
 	f := make([][]Load, len(n.Nets))
-	for ci := range n.Cells {
-		c := &n.Cells[ci]
-		if c.Dead {
-			continue
-		}
-		for pin, net := range c.Ins {
-			if net != NoNet {
-				f[net] = append(f[net], Load{Cell: CellID(ci), Pin: pin, PO: -1})
-			}
-		}
+	for i := range f {
+		lo, hi := csr.FanoutIdx[i], csr.FanoutIdx[i+1]
+		// Full slice expression: capacity is capped at the net's own
+		// segment, so an (illegal) append by a caller cannot clobber the
+		// next net's loads silently.
+		f[i] = csr.FanoutLoads[lo:hi:hi]
 	}
-	for pi := range n.POs {
-		if net := n.POs[pi].Net; net != NoNet {
-			f[net] = append(f[net], Load{Cell: NoCell, Pin: -1, PO: pi})
-		}
-	}
-	n.fanouts = f
+	n.fanouts, n.fanoutsRev = f, n.connRev
 	return f
+}
+
+// Prewarm builds every derived-structure cache (CSR adjacency, fanout
+// view, levelization) so that subsequent Clones share them. Sweep uses it
+// to pay the build cost once per base circuit instead of once per level.
+// A combinational cycle leaves the levelization uncached; the error
+// resurfaces at first real use.
+func (n *Netlist) Prewarm() {
+	n.CSR()
+	n.Fanouts()
+	n.Levelize() //nolint:errcheck // cycle errors resurface at first use
 }
 
 // NumLiveCells counts non-dead instances.

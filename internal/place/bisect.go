@@ -16,13 +16,49 @@ type region struct {
 // bisector performs recursive min-cut bisection with an FM-style
 // refinement pass. Nets above maxNetSize pins (clocks, scan-enable) are
 // ignored for cut purposes, as in production placers.
+//
+// All working storage lives on the bisector and is reused across the
+// (strictly serial) recursion: local net numbering uses epoch-stamped
+// arrays instead of a per-node map, incidence lists are flat CSR arrays,
+// and the FM gain buckets keep their capacity between passes. The cut
+// decisions are bit-identical to the slice-of-slices version — every
+// iteration order the FM tie-breaking depends on is preserved.
 type bisector struct {
 	n      *netlist.Netlist
 	passes int
 
-	// cellNets[c] lists the (small) nets incident to cell c.
-	cellNets [][]int32
-	rowH     float64
+	// cellNets lists the (small) nets incident to each cell, CSR-packed:
+	// cellNetBuf[cellNetIdx[c]:cellNetIdx[c+1]].
+	cellNetIdx []int32
+	cellNetBuf []int32
+	rowH       float64
+
+	// Per-node scratch (valid only between a partition call and the next).
+	side    []uint8
+	spill   []netlist.CellID // stable-split overflow buffer
+	netEp   int32
+	netSeen []int32 // per-global-net epoch stamp
+	netPos  []int32 // per-global-net preliminary local index
+	keep    []int32 // preliminary local index -> kept index (or -1)
+
+	// Local incidence CSR, rebuilt per node.
+	memberIdx []int32
+	members   []int32
+	localIdx  []int32
+	localBuf  []int32
+	cursor    []int32
+
+	// FM pass scratch.
+	cnt     [][2]int32
+	gain    []int32
+	locked  []bool
+	buckets [2*maxGain + 1][]int32
+	moves   []move
+}
+
+type move struct {
+	cell  int32
+	delta int32 // cut change (negative = improvement)
 }
 
 const (
@@ -33,40 +69,65 @@ const (
 
 func newBisector(n *netlist.Netlist, passes int) *bisector {
 	b := &bisector{n: n, passes: passes, rowH: n.Lib.RowHeight}
-	fan := n.Fanouts()
+	csr := n.CSR()
 	// Count pins per net to exclude global nets.
 	pinCount := make([]int32, len(n.Nets))
 	for id := range n.Nets {
-		c := int32(len(fan[id]))
+		c := int32(csr.FanoutLen(netlist.NetID(id)))
 		if n.Nets[id].Driver != netlist.NoCell {
 			c++
 		}
 		pinCount[id] = c
 	}
-	b.cellNets = make([][]int32, len(n.Cells))
-	add := func(ci netlist.CellID, net netlist.NetID) {
-		if net == netlist.NoNet || n.Nets[net].Const >= 0 || pinCount[net] > maxNetSize || pinCount[net] < 2 {
-			return
-		}
-		l := b.cellNets[ci]
-		for _, x := range l {
-			if x == int32(net) {
+	eligible := func(net netlist.NetID) bool {
+		return net != netlist.NoNet && n.Nets[net].Const < 0 &&
+			pinCount[net] <= maxNetSize && pinCount[net] >= 2
+	}
+	// Two-pass CSR build of the per-cell incident-net lists, deduplicating
+	// within each cell's handful of pins.
+	var tmp [16]int32
+	cellUnique := func(ci int) []int32 {
+		c := &b.n.Cells[ci]
+		u := tmp[:0]
+		addU := func(net netlist.NetID) {
+			if !eligible(net) {
 				return
 			}
-		}
-		b.cellNets[ci] = append(l, int32(net))
-	}
-	for ci := range n.Cells {
-		c := &n.Cells[ci]
-		if c.Dead {
-			continue
+			for _, x := range u {
+				if x == int32(net) {
+					return
+				}
+			}
+			u = append(u, int32(net))
 		}
 		for _, in := range c.Ins {
-			add(netlist.CellID(ci), in)
+			addU(in)
 		}
-		add(netlist.CellID(ci), c.Out)
+		addU(c.Out)
+		return u
 	}
+	b.cellNetIdx = make([]int32, len(n.Cells)+1)
+	total := 0
+	for ci := range n.Cells {
+		if !n.Cells[ci].Dead {
+			total += len(cellUnique(ci))
+		}
+		b.cellNetIdx[ci+1] = int32(total)
+	}
+	b.cellNetBuf = make([]int32, 0, total)
+	for ci := range n.Cells {
+		if !n.Cells[ci].Dead {
+			b.cellNetBuf = append(b.cellNetBuf, cellUnique(ci)...)
+		}
+	}
+
+	b.netSeen = make([]int32, len(n.Nets))
+	b.netPos = make([]int32, len(n.Nets))
 	return b
+}
+
+func (b *bisector) cellNets(c netlist.CellID) []int32 {
+	return b.cellNetBuf[b.cellNetIdx[c]:b.cellNetIdx[c+1]]
 }
 
 // run recursively splits cells over reg, calling emit for each cell with
@@ -101,25 +162,48 @@ func (b *bisector) run(ctx context.Context, cells []netlist.CellID, reg region, 
 		fracA = 0.5
 	}
 	sideOf := b.partition(cells, fracA)
-	var left, right []netlist.CellID
+	// Stable in-place split: side-0 cells keep their order as the prefix,
+	// side-1 cells follow in order (the recursion owns this subrange, so
+	// reordering it is free).
+	spill := b.spill[:0]
+	k := 0
 	for i, c := range cells {
 		if sideOf[i] == 0 {
-			left = append(left, c)
+			cells[k] = c
+			k++
 		} else {
-			right = append(right, c)
+			spill = append(spill, c)
 		}
 	}
-	if err := b.run(ctx, left, regA, emit); err != nil {
+	copy(cells[k:], spill)
+	b.spill = spill[:0]
+	if err := b.run(ctx, cells[:k], regA, emit); err != nil {
 		return err
 	}
-	return b.run(ctx, right, regB, emit)
+	return b.run(ctx, cells[k:], regB, emit)
+}
+
+// grow resizes an int32 scratch slice to n zeroed entries.
+func grow(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
 }
 
 // partition splits cells into side 0 (area fraction fracA) and side 1,
-// minimizing the number of cut nets with FM passes.
+// minimizing the number of cut nets with FM passes. The returned slice is
+// scratch owned by the bisector — valid until the next partition call.
 func (b *bisector) partition(cells []netlist.CellID, fracA float64) []uint8 {
 	n := len(cells)
-	side := make([]uint8, n)
+	if cap(b.side) < n {
+		b.side = make([]uint8, n)
+	}
+	side := b.side[:n]
 	totalArea := 0.0
 	for _, c := range cells {
 		totalArea += b.n.Cells[c].Cell.Width
@@ -137,63 +221,137 @@ func (b *bisector) partition(cells []netlist.CellID, fracA float64) []uint8 {
 		}
 	}
 
-	// Local net incidence: net -> member local cell indices, in
-	// deterministic first-seen order (map iteration order must not leak
-	// into the partition result).
-	netIdx := make(map[int32]int32)
-	var netMembers [][]int32
-	for i, c := range cells {
-		for _, net := range b.cellNets[c] {
-			ni, ok := netIdx[net]
-			if !ok {
-				ni = int32(len(netMembers))
-				netIdx[net] = ni
-				netMembers = append(netMembers, nil)
+	// Preliminary local net numbering in first-seen order, via epoch
+	// stamps on two netlist-sized arrays (no per-node map).
+	b.netEp++
+	ep := b.netEp
+	numNets := 0
+	incidences := 0
+	for _, c := range cells {
+		nets := b.cellNets(c)
+		incidences += len(nets)
+		for _, net := range nets {
+			if b.netSeen[net] != ep {
+				b.netSeen[net] = ep
+				b.netPos[net] = int32(numNets)
+				numNets++
 			}
-			netMembers[ni] = append(netMembers[ni], int32(i))
 		}
 	}
-	// Drop nets with a single member in this region.
-	nets := make([][]int32, 0, len(netMembers))
-	for _, members := range netMembers {
-		if len(members) >= 2 {
-			nets = append(nets, members)
+	// Count incidences per preliminary net, then keep only nets with at
+	// least two members in this region (first-seen order preserved).
+	b.cursor = grow(b.cursor, numNets)
+	cnt := b.cursor
+	for _, c := range cells {
+		for _, net := range b.cellNets(c) {
+			cnt[b.netPos[net]]++
 		}
 	}
-	cellLocalNets := make([][]int32, n)
-	for ni, members := range nets {
-		for _, m := range members {
-			cellLocalNets[m] = append(cellLocalNets[m], int32(ni))
+	b.keep = grow(b.keep, numNets)
+	kept := 0
+	keptInc := 0
+	for p := 0; p < numNets; p++ {
+		if cnt[p] >= 2 {
+			b.keep[p] = int32(kept)
+			kept++
+			keptInc += int(cnt[p])
+		} else {
+			b.keep[p] = -1
+		}
+	}
+	// Member CSR: members of kept net k are
+	// members[memberIdx[k]:memberIdx[k+1]], in ascending cell order.
+	b.memberIdx = grow(b.memberIdx, kept+1)
+	for p := 0; p < numNets; p++ {
+		if k := b.keep[p]; k >= 0 {
+			b.memberIdx[k+1] = cnt[p]
+		}
+	}
+	for k := 1; k <= kept; k++ {
+		b.memberIdx[k] += b.memberIdx[k-1]
+	}
+	if cap(b.members) < keptInc {
+		b.members = make([]int32, keptInc)
+	}
+	b.members = b.members[:keptInc]
+	b.cursor = grow(b.cursor, kept) // aliases cnt, which is dead past here
+	cur := b.cursor
+	copy(cur, b.memberIdx[:kept])
+	for i, c := range cells {
+		for _, net := range b.cellNets(c) {
+			if k := b.keep[b.netPos[net]]; k >= 0 {
+				b.members[cur[k]] = int32(i)
+				cur[k]++
+			}
+		}
+	}
+	// Per-cell local net CSR, each cell's list in ascending kept-net
+	// order (the order the FM tie-breaking saw historically).
+	b.localIdx = grow(b.localIdx, n+1)
+	for k := 0; k < kept; k++ {
+		for _, m := range b.members[b.memberIdx[k]:b.memberIdx[k+1]] {
+			b.localIdx[m+1]++
+		}
+	}
+	for i := 1; i <= n; i++ {
+		b.localIdx[i] += b.localIdx[i-1]
+	}
+	if cap(b.localBuf) < keptInc {
+		b.localBuf = make([]int32, keptInc)
+	}
+	b.localBuf = b.localBuf[:keptInc]
+	b.cursor = grow(b.cursor, n)
+	cur = b.cursor
+	copy(cur, b.localIdx[:n])
+	for k := 0; k < kept; k++ {
+		for _, m := range b.members[b.memberIdx[k]:b.memberIdx[k+1]] {
+			b.localBuf[cur[m]] = int32(k)
+			cur[m]++
 		}
 	}
 
 	tol := totalArea*0.02 + 12*b.n.Lib.SiteWidth
 	for pass := 0; pass < b.passes; pass++ {
-		if !b.fmPass(cells, side, nets, cellLocalNets, &areaA, targetA, tol) {
+		if !b.fmPass(cells, side, kept, &areaA, targetA, tol) {
 			break
 		}
 	}
 	return side
 }
 
+// netMembers and cellLocals read the per-node incidence CSRs.
+func (b *bisector) netMembers(k int32) []int32 {
+	return b.members[b.memberIdx[k]:b.memberIdx[k+1]]
+}
+func (b *bisector) cellLocals(i int32) []int32 {
+	return b.localBuf[b.localIdx[i]:b.localIdx[i+1]]
+}
+
 // fmPass runs one full Fiduccia–Mattheyses pass: every cell is moved once
 // in best-gain order under the balance constraint, then the pass is rolled
 // back to its best prefix. Returns true if the pass improved the cut.
-func (b *bisector) fmPass(cells []netlist.CellID, side []uint8, nets [][]int32,
-	cellLocalNets [][]int32, areaA *float64, targetA, tol float64) bool {
+func (b *bisector) fmPass(cells []netlist.CellID, side []uint8, numNets int,
+	areaA *float64, targetA, tol float64) bool {
 
 	n := len(cells)
-	cnt := make([][2]int32, len(nets))
-	for ni, members := range nets {
-		for _, m := range members {
-			cnt[ni][side[m]]++
+	if cap(b.cnt) < numNets {
+		b.cnt = make([][2]int32, numNets)
+	}
+	cnt := b.cnt[:numNets]
+	for k := range cnt {
+		cnt[k] = [2]int32{}
+	}
+	for k := 0; k < numNets; k++ {
+		for _, m := range b.netMembers(int32(k)) {
+			cnt[k][side[m]]++
 		}
 	}
-	gain := make([]int32, n)
+	b.gain = grow(b.gain, n)
+	gain := b.gain
 	computeGain := func(i int) int32 {
 		g := int32(0)
 		s := side[i]
-		for _, ni := range cellLocalNets[i] {
+		for _, ni := range b.cellLocals(int32(i)) {
 			if cnt[ni][s] == 1 {
 				g++
 			}
@@ -205,7 +363,9 @@ func (b *bisector) fmPass(cells []netlist.CellID, side []uint8, nets [][]int32,
 	}
 	// Gain buckets with lazy deletion: a popped entry is valid only if it
 	// matches the cell's current gain and the cell is unlocked.
-	buckets := make([][]int32, 2*maxGain+1)
+	for gi := range b.buckets {
+		b.buckets[gi] = b.buckets[gi][:0]
+	}
 	clamp := func(g int32) int32 {
 		if g > maxGain {
 			return maxGain
@@ -217,25 +377,27 @@ func (b *bisector) fmPass(cells []netlist.CellID, side []uint8, nets [][]int32,
 	}
 	push := func(i int) {
 		g := clamp(gain[i])
-		buckets[g+maxGain] = append(buckets[g+maxGain], int32(i))
+		b.buckets[g+maxGain] = append(b.buckets[g+maxGain], int32(i))
 	}
-	locked := make([]bool, n)
+	if cap(b.locked) < n {
+		b.locked = make([]bool, n)
+	}
+	locked := b.locked[:n]
+	for i := range locked {
+		locked[i] = false
+	}
 	for i := 0; i < n; i++ {
 		gain[i] = computeGain(i)
 		push(i)
 	}
 
-	type move struct {
-		cell  int32
-		delta int32 // cut change (negative = improvement)
-	}
-	var moves []move
+	moves := b.moves[:0]
 	cumDelta, bestDelta, bestK := int32(0), int32(0), 0
 	curAreaA := *areaA
 
 	popBest := func() int32 {
-		for gi := len(buckets) - 1; gi >= 0; gi-- {
-			bl := buckets[gi]
+		for gi := len(b.buckets) - 1; gi >= 0; gi-- {
+			bl := b.buckets[gi]
 			for len(bl) > 0 {
 				i := bl[len(bl)-1]
 				bl = bl[:len(bl)-1]
@@ -253,10 +415,10 @@ func (b *bisector) fmPass(cells []netlist.CellID, side []uint8, nets [][]int32,
 				if na < targetA-tol || na > targetA+tol {
 					continue // would unbalance; try next (leave popped)
 				}
-				buckets[gi] = bl
+				b.buckets[gi] = bl
 				return i
 			}
-			buckets[gi] = bl
+			b.buckets[gi] = bl
 		}
 		return -1
 	}
@@ -277,13 +439,13 @@ func (b *bisector) fmPass(cells []netlist.CellID, side []uint8, nets [][]int32,
 		cumDelta -= gain[i]
 		moves = append(moves, move{cell: i, delta: gain[i]})
 		// Apply move: update counts and neighbour gains.
-		for _, ni := range cellLocalNets[i] {
+		for _, ni := range b.cellLocals(i) {
 			cnt[ni][s]--
 			cnt[ni][1-s]++
 		}
 		side[i] = 1 - s
-		for _, ni := range cellLocalNets[i] {
-			for _, m := range nets[ni] {
+		for _, ni := range b.cellLocals(i) {
+			for _, m := range b.netMembers(ni) {
 				if !locked[m] {
 					gain[m] = computeGain(int(m))
 					push(int(m))
@@ -307,6 +469,7 @@ func (b *bisector) fmPass(cells []netlist.CellID, side []uint8, nets [][]int32,
 		}
 		side[i] = 1 - s
 	}
+	b.moves = moves[:0]
 	*areaA = curAreaA
 	return bestDelta < 0
 }

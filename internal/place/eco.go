@@ -31,9 +31,9 @@ func (p *Placement) ECO() error {
 		return nil
 	}
 	gaps := p.buildGaps()
-	fan := n.Fanouts()
+	csr := n.CSR()
 	for _, id := range pending {
-		cx, cy := p.centroid(id, fan)
+		cx, cy := p.centroid(id, csr)
 		if !gaps.insert(p, id, cx, cy) {
 			// No gap anywhere: extend every row by the cell width and
 			// retry (the paper's "row length increases" effect).
@@ -49,7 +49,7 @@ func (p *Placement) ECO() error {
 
 // centroid estimates a new cell's ideal position from its placed
 // neighbours (cells sharing a net), defaulting to the core center.
-func (p *Placement) centroid(id netlist.CellID, fan [][]netlist.Load) (x, y float64) {
+func (p *Placement) centroid(id netlist.CellID, csr *netlist.CSR) (x, y float64) {
 	n := p.N
 	sumX, sumY, cnt := 0.0, 0.0, 0
 	visit := func(other netlist.CellID) {
@@ -68,7 +68,7 @@ func (p *Placement) centroid(id netlist.CellID, fan [][]netlist.Load) (x, y floa
 		visit(n.Nets[in].Driver)
 	}
 	if c.Out != netlist.NoNet {
-		for _, ld := range fan[c.Out] {
+		for _, ld := range csr.Fanout(c.Out) {
 			visit(ld.Cell)
 		}
 	}

@@ -256,7 +256,7 @@ func usedLength(n *netlist.Netlist, cells []netlist.CellID) float64 {
 // bound.
 func (p *Placement) HPWL() float64 {
 	n := p.N
-	fan := n.Fanouts()
+	csr := n.CSR()
 	total := 0.0
 	for id := range n.Nets {
 		nn := &n.Nets[id]
@@ -276,7 +276,7 @@ func (p *Placement) HPWL() float64 {
 		if nn.Driver != netlist.NoCell && p.Placed(nn.Driver) {
 			add(p.Pos(nn.Driver))
 		}
-		for _, ld := range fan[id] {
+		for _, ld := range csr.Fanout(netlist.NetID(id)) {
 			if ld.Cell != netlist.NoCell && p.Placed(ld.Cell) {
 				add(p.Pos(ld.Cell))
 			}

@@ -57,7 +57,7 @@ func RouteContext(ctx context.Context, p *place.Placement, opt Options) (*Result
 	n := p.N
 	res := &Result{NetLen: make([]float64, len(n.Nets))}
 	g := newGrid(p, opt)
-	fan := n.Fanouts()
+	csr := n.CSR()
 
 	// Deterministic net order: longer (higher-fanout) nets first, so the
 	// big trunks claim uncongested space, then short nets fill in.
@@ -76,7 +76,7 @@ func RouteContext(ctx context.Context, p *place.Placement, opt Options) (*Result
 			x, y := p.Pos(nn.Driver)
 			pins = append(pins, point{x, y})
 		}
-		for _, ld := range fan[id] {
+		for _, ld := range csr.Fanout(netlist.NetID(id)) {
 			if ld.Cell != netlist.NoCell && p.Placed(ld.Cell) {
 				x, y := p.Pos(ld.Cell)
 				pins = append(pins, point{x, y})

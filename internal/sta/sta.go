@@ -81,6 +81,10 @@ type analyzer struct {
 	from  []arc
 	order []netlist.CellID
 
+	// poExtra[net] is the external PO load on the net (0 for non-PO
+	// nets), precomputed so evalCell avoids a scan over all POs per cell.
+	poExtra []float64
+
 	slowSeen []bool
 	slow     int
 }
@@ -105,7 +109,13 @@ func AnalyzeContext(ctx context.Context, n *netlist.Netlist, par *extract.Parasi
 		return nil, err
 	}
 	a := &analyzer{n: n, par: par, opt: opt, ctx: ctx, order: lv.Order,
-		slowSeen: make([]bool, len(n.Cells))}
+		slowSeen: make([]bool, len(n.Cells)),
+		poExtra:  make([]float64, len(n.Nets))}
+	for _, po := range n.POs {
+		if po.Net != netlist.NoNet {
+			a.poExtra[po.Net] = opt.PrimaryOutputLoad
+		}
+	}
 	a.propagateConstants()
 
 	res := &Result{
@@ -202,12 +212,13 @@ func (a *analyzer) propagateConstants() {
 		}
 		return uint8(a.cons[id])
 	}
+	var insBuf [8]uint8
 	for _, ci := range a.order {
 		c := &a.n.Cells[ci]
 		if a.cons[c.Out] >= 0 {
 			continue
 		}
-		ins := make([]uint8, len(c.Ins))
+		ins := insBuf[:len(c.Ins)]
 		for i, in := range c.Ins {
 			ins[i] = val(in)
 		}
@@ -279,14 +290,7 @@ func (a *analyzer) evalCell(ci netlist.CellID) {
 }
 
 // poLoad adds the external load when the net drives a primary output.
-func (a *analyzer) poLoad(net netlist.NetID) float64 {
-	for _, po := range a.n.POs {
-		if po.Net == net {
-			return a.opt.PrimaryOutputLoad
-		}
-	}
-	return 0
-}
+func (a *analyzer) poLoad(net netlist.NetID) float64 { return a.poExtra[net] }
 
 // cellDelay evaluates the NLDM tables, splitting the delay into intrinsic
 // (the zero-load, fast-edge table corner) and load/slew-dependent parts.

@@ -80,12 +80,12 @@ func Analyze(n *netlist.Netlist, opt Options) (*Analysis, error) {
 // itself plus the cones of its single-fanout inputs.
 func (a *Analysis) fanoutFreeCones(n *netlist.Netlist, lv *netlist.Levels) {
 	a.FFICone = make([]int32, len(n.Nets))
-	fan := n.Fanouts()
+	csr := n.CSR()
 	for _, ci := range lv.Order {
 		c := &n.Cells[ci]
 		size := int32(1)
 		for _, in := range c.Ins {
-			if in != netlist.NoNet && len(fan[in]) == 1 {
+			if in != netlist.NoNet && csr.FanoutLen(in) == 1 {
 				size += a.FFICone[in]
 			}
 		}
@@ -348,14 +348,14 @@ func (a *Analysis) TC(id netlist.NetID) float64 {
 func (a *Analysis) regions(n *netlist.Netlist) {
 	a.FFRHead = make([]netlist.NetID, len(n.Nets))
 	a.FFRSize = make(map[netlist.NetID]int)
-	fan := n.Fanouts()
+	csr := n.CSR()
 	for id := range n.Nets {
 		a.FFRHead[id] = netlist.NoNet
 	}
 	// A net is a stem (its own head) when it has ≠1 loads or its single
 	// load is a sink (PO or sequential input).
 	isStem := func(id netlist.NetID) bool {
-		loads := fan[id]
+		loads := csr.Fanout(id)
 		if len(loads) != 1 {
 			return true
 		}
@@ -375,7 +375,7 @@ func (a *Analysis) regions(n *netlist.Netlist) {
 			return id
 		}
 		// Single combinational load: same region as its output.
-		ld := fan[id][0]
+		ld := csr.Fanout(id)[0]
 		out := n.Cells[ld.Cell].Out
 		h := headOf(out)
 		a.FFRHead[id] = h

@@ -186,8 +186,15 @@ func SweepPartial(ctx context.Context, design *Netlist, cfg Config, tpPercents [
 	for i, pct := range tpPercents {
 		out[i].TPPercent = pct
 	}
+	// The base circuit is cloned once per sweep and its derived caches
+	// (CSR adjacency, fanout view, levelization) are built eagerly, so
+	// the per-level clones below share the warmed cache pointers instead
+	// of each rebuilding them — and no two workers ever race on a lazy
+	// build, because the base is immutable once prewarmed.
+	base := design.Clone()
+	base.Prewarm()
 	// runLevel owns out[i] exclusively; the deferred recover is the sweep
-	// worker's panic isolation (flow.RunContext already isolates stage
+	// worker's panic isolation (flow.RunInPlace already isolates stage
 	// panics — this guards everything outside it, Clone included).
 	runLevel := func(i int) {
 		pct := tpPercents[i]
@@ -199,10 +206,10 @@ func SweepPartial(ctx context.Context, design *Netlist, cfg Config, tpPercents [
 		}()
 		c := cfg
 		c.TPPercent = pct
-		// flow.RunContext works on its own deep copy of design; cloning
-		// here as well keeps the shared design strictly read-only inside
-		// the worker.
-		r, err := flow.RunContext(ctx, design.Clone(), c)
+		// Each level runs in place on its own clone of the prewarmed
+		// base, so the shared base stays strictly read-only inside the
+		// worker and the flow pays no second defensive clone.
+		r, err := flow.RunInPlace(ctx, base.Clone(), c)
 		if err != nil {
 			out[i].Err = err
 			return
