@@ -4,7 +4,9 @@ BENCH_PATTERN ?= BenchmarkTable1_|BenchmarkTable2_S38417|BenchmarkTable3_S38417|
 BENCH_SECTION ?= current
 BENCH_OUT     ?= BENCH_PR3.json
 
-.PHONY: test race bench bench-json bench-smoke
+TRACE_OUT ?= trace.ndjson
+
+.PHONY: test race bench bench-json bench-smoke trace-smoke
 
 test:
 	go build ./... && go vet ./... && go test ./...
@@ -28,3 +30,10 @@ bench-json:
 # benchmark, race detector off, failing on any panic.
 bench-smoke:
 	go test -run xxx -bench BenchmarkTable1 -benchtime=1x -benchmem .
+
+# trace-smoke is the observability CI gate: one traced s38417 run at
+# reduced scale, then tracestat over the trace — which exits non-zero if
+# any span is unbalanced. $(TRACE_OUT) is left behind for archiving.
+trace-smoke:
+	go run ./cmd/tpiflow -circuit s38417c -scale 0.25 -tp 1 -trace $(TRACE_OUT) -progress
+	go run ./cmd/tracestat $(TRACE_OUT)

@@ -11,6 +11,16 @@
 //
 // Standard units (ns/op, B/op, allocs/op) get first-class fields; every
 // extra ReportMetric unit lands in the metrics map verbatim.
+//
+// With -trace, the input is an NDJSON span trace (tpiflow -trace ...)
+// instead of benchmark text: each flow stage becomes a Stage/<name>
+// entry whose ns_per_op is the stage's mean wall time per run and whose
+// metrics carry the stage's counter totals — so per-stage layout/ATPG
+// timings live in the same ledger, diffable across snapshots like any
+// benchmark:
+//
+//	tpiflow -circuit s38417c -trace run.ndjson
+//	go run ./cmd/benchjson -trace run.ndjson -out BENCH_PR4.json -section stages
 package main
 
 import (
@@ -23,6 +33,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"tpilayout"
 )
 
 // Entry is one benchmark's numbers within a section.
@@ -78,10 +90,72 @@ func parse(lines *bufio.Scanner) (map[string]Entry, error) {
 	return out, lines.Err()
 }
 
+// parseTrace turns an NDJSON span trace into ledger entries: one
+// Stage/<name> per flow stage (iterations = number of runs covering the
+// stage, ns_per_op = mean stage wall time per run, metrics = mean
+// counter values), plus Stage/run for the whole-flow total.
+func parseTrace(path string) (map[string]Entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	trace, err := tpilayout.ParseTrace(f)
+	if err != nil {
+		return nil, err
+	}
+	if !trace.Balanced() {
+		return nil, fmt.Errorf("%s: unbalanced trace (span ids %v)", path, trace.Unbalanced)
+	}
+	runIDs := map[int64]bool{}
+	for _, s := range trace.Spans {
+		if s.Stage == "run" {
+			runIDs[s.ID] = true
+		}
+	}
+	type acc struct {
+		n        int64
+		ns       float64
+		counters map[string]float64
+	}
+	stages := map[string]*acc{}
+	for _, s := range trace.Spans {
+		if s.Stage != "run" && !runIDs[s.Parent] {
+			continue
+		}
+		a := stages[s.Stage]
+		if a == nil {
+			a = &acc{counters: map[string]float64{}}
+			stages[s.Stage] = a
+		}
+		a.n++
+		a.ns += float64(s.Duration)
+		for c, v := range s.Counters {
+			a.counters[c] += float64(v)
+		}
+	}
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("%s: no run spans in trace", path)
+	}
+	out := map[string]Entry{}
+	for st, a := range stages {
+		e := Entry{Iterations: a.n, NsPerOp: a.ns / float64(a.n)}
+		for c, v := range a.counters {
+			if e.Metrics == nil {
+				e.Metrics = map[string]float64{}
+			}
+			e.Metrics[c] = v / float64(a.n)
+		}
+		out["Stage/"+st] = e
+	}
+	return out, nil
+}
+
 func main() {
 	outPath := flag.String("out", "BENCH_PR3.json", "JSON ledger to create or update")
 	section := flag.String("section", "current", "section name to write (e.g. baseline, current)")
 	list := flag.Bool("list", false, "print the ledger's sections and benchmarks instead of reading stdin")
+	tracePath := flag.String("trace", "", "record per-stage durations from this NDJSON trace instead of reading benchmark text on stdin")
 	flag.Parse()
 
 	ledger := map[string]map[string]Entry{}
@@ -112,7 +186,13 @@ func main() {
 		return
 	}
 
-	entries, err := parse(bufio.NewScanner(os.Stdin))
+	var entries map[string]Entry
+	var err error
+	if *tracePath != "" {
+		entries, err = parseTrace(*tracePath)
+	} else {
+		entries, err = parse(bufio.NewScanner(os.Stdin))
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)

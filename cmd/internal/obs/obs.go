@@ -1,0 +1,68 @@
+// Package obs wires the shared observability surface (-trace,
+// -progress, -pprof) into the tpilayout command-line tools.
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // -pprof serves the default mux
+	"os"
+
+	"tpilayout"
+)
+
+// Flags holds the observability flag values shared by tpiflow and
+// tpitables.
+type Flags struct {
+	Trace    string
+	Progress bool
+	Pprof    string
+}
+
+// Register installs -trace, -progress, and -pprof on the default
+// FlagSet. Call before flag.Parse.
+func Register() *Flags {
+	f := &Flags{}
+	flag.StringVar(&f.Trace, "trace", "", "write an NDJSON span trace to this file (read it back with tracestat)")
+	flag.BoolVar(&f.Progress, "progress", false, "print live per-stage progress lines to stderr")
+	flag.StringVar(&f.Pprof, "pprof", "", "serve net/http/pprof plus live expvar counters on this address (e.g. localhost:6060)")
+	return f
+}
+
+// Tracer builds the tracer the flags select. It returns a nil tracer —
+// which the flow treats as zero-cost disabled telemetry — when no flag
+// is set. flush flushes and closes the trace file; call it after the
+// run, before reading the file.
+func (f *Flags) Tracer() (tr *tpilayout.Tracer, flush func() error, err error) {
+	var sinks []tpilayout.TraceSink
+	flush = func() error { return nil }
+	if f.Trace != "" {
+		file, err := os.Create(f.Trace)
+		if err != nil {
+			return nil, nil, fmt.Errorf("-trace: %w", err)
+		}
+		sink := tpilayout.NewNDJSONSink(file)
+		sinks = append(sinks, sink)
+		flush = sink.Close // closes the file too
+	}
+	if f.Progress {
+		sinks = append(sinks, tpilayout.NewProgressSink(os.Stderr))
+	}
+	if f.Pprof != "" {
+		sinks = append(sinks, tpilayout.NewExpvarSink("tpilayout"))
+		ln := f.Pprof
+		go func() {
+			// Background best-effort server: the run proceeds even if the
+			// port is taken, it just reports why profiling is unavailable.
+			if err := http.ListenAndServe(ln, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof server on %s: %v\n", ln, err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof+expvar on http://%s/debug/pprof and /debug/vars\n", ln)
+	}
+	if len(sinks) == 0 {
+		return nil, flush, nil
+	}
+	return tpilayout.NewTracer(sinks...), flush, nil
+}

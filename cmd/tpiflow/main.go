@@ -15,6 +15,12 @@
 // instead bounds only the ATPG effort: an expiring budget degrades the
 // run (remaining faults are marked aborted, metrics flagged truncated)
 // rather than failing it.
+//
+// The run is observable: -trace writes an NDJSON span trace (one timed
+// span per flow stage — feed it to tracestat), -progress prints live
+// stage lines to stderr, and -pprof serves net/http/pprof plus live
+// expvar stage counters. All three are off by default and cost nothing
+// when off.
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"time"
 
 	"tpilayout"
+	"tpilayout/cmd/internal/obs"
 )
 
 func main() {
@@ -39,6 +46,7 @@ func main() {
 	workers := flag.Int("workers", 0, "fault-simulation shard count (0 = GOMAXPROCS, 1 = serial)")
 	timeout := flag.Duration("timeout", 0, "cancel the run after this long (0 = no limit)")
 	atpgBudget := flag.Duration("atpg-budget", 0, "ATPG effort budget; expiry truncates the run instead of failing it (0 = no limit)")
+	obsFlags := obs.Register()
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -67,7 +75,15 @@ func main() {
 	if *atpgBudget > 0 {
 		cfg.Deadline = time.Now().Add(*atpgBudget)
 	}
+	tracer, closeTrace, err := obsFlags.Tracer()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Telemetry = tracer
 	res, err := tpilayout.RunContext(ctx, design, cfg)
+	if terr := closeTrace(); terr != nil {
+		log.Fatal(terr)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

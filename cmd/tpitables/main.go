@@ -18,6 +18,12 @@
 //
 // At -scale 1 the circuits have their full published sizes; smaller
 // scales keep the structure (and the trends) while running much faster.
+//
+// Sweeps are observable: -trace writes an NDJSON span trace covering
+// every level of every circuit (one sweep → run → stage tree per
+// circuit — feed it to tracestat), -progress prints live per-stage,
+// per-level lines to stderr as the parallel sweep advances, and -pprof
+// serves net/http/pprof plus live expvar stage counters.
 package main
 
 import (
@@ -32,6 +38,7 @@ import (
 	"time"
 
 	"tpilayout"
+	"tpilayout/cmd/internal/obs"
 )
 
 func main() {
@@ -43,6 +50,7 @@ func main() {
 	levels := flag.String("levels", "0,1,2,3,4,5", "test-point percentages to sweep")
 	workers := flag.Int("workers", 0, "sweep concurrency (0 = GOMAXPROCS, 1 = serial)")
 	timeout := flag.Duration("timeout", 0, "cancel the remaining sweep after this long (0 = no limit); completed levels still print")
+	obsFlags := obs.Register()
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -62,6 +70,11 @@ func main() {
 		pcts = append(pcts, v)
 	}
 
+	tracer, closeTrace, err := obsFlags.Tracer()
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	anyFailed := false
 	for _, name := range strings.Split(*circuits, ",") {
 		name = strings.TrimSpace(name)
@@ -79,6 +92,7 @@ func main() {
 		cfg := tpilayout.ExperimentConfig(name)
 		cfg.SkipATPG = *table == "2" || *table == "3"
 		cfg.Workers = *workers
+		cfg.Telemetry = tracer
 		start := time.Now()
 		results, err := tpilayout.SweepPartial(ctx, design, cfg, pcts)
 		if err != nil {
@@ -102,6 +116,9 @@ func main() {
 			anyFailed = true
 			fmt.Print(failed)
 		}
+	}
+	if err := closeTrace(); err != nil {
+		log.Fatal(err)
 	}
 	if anyFailed {
 		os.Exit(1)

@@ -1,0 +1,211 @@
+// Command tracestat summarizes an NDJSON span trace written by
+// tpiflow/tpitables -trace (or any telemetry NDJSON sink): a per-stage
+// wall-time table with one column per swept test-point level, the
+// fraction of each run accounted for by its stages, and the stage
+// counter totals.
+//
+// Usage:
+//
+//	tpiflow -circuit s38417c -trace out.ndjson
+//	tracestat out.ndjson
+//	tracestat < out.ndjson
+//
+// The exit status is non-zero if the trace is unbalanced (a span
+// started but never ended, or vice versa) — the signature of a crashed
+// or mis-instrumented run — which makes tracestat a cheap CI gate over
+// any traced flow.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"tpilayout"
+)
+
+// stageRun is the stage name of the span wrapping one full flow run
+// (mirrors the internal flow constant; the NDJSON schema is the stable
+// contract).
+const stageRun = "run"
+
+func main() {
+	showCounters := flag.Bool("counters", true, "print stage counter and gauge totals after the timing table")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	name := "<stdin>"
+	if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracestat [flags] [trace.ndjson]")
+		os.Exit(2)
+	}
+	if flag.NArg() == 1 {
+		name = flag.Arg(0)
+		f, err := os.Open(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracestat:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	trace, err := tpilayout.ParseTrace(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracestat:", err)
+		os.Exit(1)
+	}
+	summarize(os.Stdout, name, trace, *showCounters)
+	if !trace.Balanced() {
+		fmt.Fprintf(os.Stderr, "tracestat: UNBALANCED trace — %d span(s) without a matching start/end: ids %v\n",
+			len(trace.Unbalanced), trace.Unbalanced)
+		os.Exit(1)
+	}
+}
+
+func summarize(w io.Writer, name string, trace *tpilayout.Trace, showCounters bool) {
+	levels := trace.Levels()
+
+	// First pass: identify run spans and attribute them to their level.
+	runLevel := map[int64]float64{}
+	runDur := map[float64]time.Duration{}
+	runCount := map[float64]int{}
+	var errSpans int
+	for _, s := range trace.Spans {
+		if s.Err != "" {
+			errSpans++
+		}
+		if s.Stage == stageRun {
+			runLevel[s.ID] = s.TPPercent
+			runDur[s.TPPercent] += s.Duration
+			runCount[s.TPPercent]++
+		}
+	}
+
+	// Second pass: stage children of run spans, in first-seen order
+	// (every run ends its stages in flow order, so the merge is that
+	// order), plus counter/gauge totals per level.
+	stageDur := map[string]map[float64]time.Duration{}
+	var stageOrder []string
+	counters := map[string]map[float64]int64{}
+	gauges := map[string]map[float64]float64{}
+	for _, s := range trace.Spans {
+		tp, ok := runLevel[s.Parent]
+		if !ok {
+			continue
+		}
+		if stageDur[s.Stage] == nil {
+			stageDur[s.Stage] = map[float64]time.Duration{}
+			stageOrder = append(stageOrder, s.Stage)
+		}
+		stageDur[s.Stage][tp] += s.Duration
+		for c, v := range s.Counters {
+			if counters[c] == nil {
+				counters[c] = map[float64]int64{}
+			}
+			counters[c][tp] += v
+		}
+		for g, v := range s.Gauges {
+			if gauges[g] == nil {
+				gauges[g] = map[float64]float64{}
+			}
+			gauges[g][tp] = v
+		}
+	}
+
+	nRuns := len(runLevel)
+	fmt.Fprintf(w, "%s: %d events, %d spans (%d runs", name, len(trace.Events), len(trace.Spans), nRuns)
+	if errSpans > 0 {
+		fmt.Fprintf(w, ", %d with errors", errSpans)
+	}
+	fmt.Fprint(w, ")\n\n")
+	if nRuns == 0 {
+		fmt.Fprintln(w, "no run spans — nothing to tabulate")
+		return
+	}
+
+	const col = 11
+	cell := func(s string) string { return fmt.Sprintf("%*s", col, s) }
+	header := fmt.Sprintf("%-10s", "stage")
+	for _, tp := range levels {
+		header += cell(fmt.Sprintf("tp %.1f%%", tp))
+	}
+	fmt.Fprintln(w, header)
+
+	var stageTotal, runTotal time.Duration
+	for _, st := range stageOrder {
+		row := fmt.Sprintf("%-10s", st)
+		for _, tp := range levels {
+			d := stageDur[st][tp]
+			stageTotal += d
+			row += cell(fmtDur(d))
+		}
+		fmt.Fprintln(w, row)
+	}
+	row := fmt.Sprintf("%-10s", "run total")
+	for _, tp := range levels {
+		runTotal += runDur[tp]
+		row += cell(fmtDur(runDur[tp]))
+	}
+	fmt.Fprintln(w, row)
+	row = fmt.Sprintf("%-10s", "other")
+	for _, tp := range levels {
+		var lv time.Duration
+		for _, st := range stageOrder {
+			lv += stageDur[st][tp]
+		}
+		row += cell(fmtDur(runDur[tp] - lv))
+	}
+	fmt.Fprintln(w, row)
+	if runTotal > 0 {
+		fmt.Fprintf(w, "\nstages account for %.1f%% of the %s total run wall time\n",
+			100*float64(stageTotal)/float64(runTotal), fmtDur(runTotal))
+	}
+
+	if !showCounters || (len(counters) == 0 && len(gauges) == 0) {
+		return
+	}
+	fmt.Fprintf(w, "\n%-26s", "counter")
+	for _, tp := range levels {
+		fmt.Fprint(w, cell(fmt.Sprintf("tp %.1f%%", tp)))
+	}
+	fmt.Fprintln(w)
+	for _, c := range sortedKeys(counters) {
+		fmt.Fprintf(w, "%-26s", c)
+		for _, tp := range levels {
+			fmt.Fprint(w, cell(fmt.Sprintf("%d", counters[c][tp])))
+		}
+		fmt.Fprintln(w)
+	}
+	for _, g := range sortedKeys(gauges) {
+		fmt.Fprintf(w, "%-26s", g)
+		for _, tp := range levels {
+			fmt.Fprint(w, cell(fmt.Sprintf("%.3g", gauges[g][tp])))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// fmtDur renders a duration at table-friendly precision.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second || d <= -time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond || d <= -time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d)/1e6)
+	default:
+		return fmt.Sprintf("%dµs", d/time.Microsecond)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"tpilayout/internal/fault"
 	"tpilayout/internal/netlist"
 	"tpilayout/internal/supervise"
+	"tpilayout/internal/telemetry"
 	"tpilayout/internal/testability"
 )
 
@@ -59,6 +60,18 @@ type Options struct {
 	// fails. The zero value means no deadline. Contrast with context
 	// cancellation, which aborts the run with an error.
 	Deadline time.Time
+
+	// Telemetry, when non-nil, receives the run's ATPG counters on the
+	// ATPG stage's span: pattern provenance (atpg.patterns,
+	// atpg.random_patterns, atpg.random_kept, atpg.det_kept), class
+	// outcomes (atpg.fault_classes, atpg.collapsed_classes,
+	// atpg.aborted_classes, atpg.untestable_classes), PODEM search
+	// effort (atpg.podem_targets, atpg.podem_backtracks), and
+	// fault-simulation sharding (atpg.sim_batches,
+	// atpg.sim_detect_calls, the atpg.shards / atpg.shard_util gauges).
+	// Counters are flushed once at the end of the run, so the hot loops
+	// pay nothing; a nil span costs nothing at all.
+	Telemetry *telemetry.Span
 
 	// noDomShortcut disables the dominance-based detection shortcut in
 	// the drop passes. The shortcut never changes statuses or patterns
@@ -363,7 +376,46 @@ func RunContext(ctx context.Context, n *netlist.Netlist, set *fault.Set, opt Opt
 			res.AbortedClasses++
 		}
 	}
+	flushTelemetry(opt.Telemetry, res, gen, pool, randomGenerated)
 	return res, nil
+}
+
+// flushTelemetry records the run's counters on the ATPG stage span in
+// one pass at the end — the generation and simulation loops themselves
+// carry only plain per-struct ints, so instrumentation adds no work to
+// the hot paths.
+func flushTelemetry(sp *telemetry.Span, res *Result, gen *podem, pool *simPool, randomGenerated int) {
+	if sp == nil {
+		return
+	}
+	sp.Counter("atpg.patterns").Add(int64(len(res.Patterns)))
+	sp.Counter("atpg.random_patterns").Add(int64(randomGenerated))
+	sp.Counter("atpg.random_kept").Add(int64(res.RandomKept))
+	sp.Counter("atpg.det_kept").Add(int64(res.DeterministicKept))
+	sp.Counter("atpg.fault_classes").Add(int64(res.FaultClasses))
+	sp.Counter("atpg.collapsed_classes").Add(int64(res.CollapsedClasses))
+	sp.Counter("atpg.aborted_classes").Add(int64(res.AbortedClasses))
+	sp.Counter("atpg.untestable_classes").Add(int64(res.UntestableClasses))
+	sp.Counter("atpg.podem_targets").Add(gen.nTargets)
+	sp.Counter("atpg.podem_backtracks").Add(gen.nBacktracks)
+	sp.Counter("atpg.sim_batches").Add(pool.batches)
+	var total, peak int64
+	for _, w := range pool.work {
+		total += w
+		if w > peak {
+			peak = w
+		}
+	}
+	sp.Counter("atpg.sim_detect_calls").Add(total)
+	sp.Gauge("atpg.shards").Set(float64(len(pool.sims)))
+	if peak > 0 {
+		// 1.0 = every shard did equal work; the gap to 1 is idle shard
+		// capacity (the load-balance figure of the chunked work stealing).
+		sp.Gauge("atpg.shard_util").Set(float64(total) / (float64(peak) * float64(len(pool.sims))))
+	}
+	if res.Truncated {
+		sp.Counter("atpg.truncated").Add(1)
+	}
 }
 
 // coveredBy simulates the given patterns and reports which of the reps

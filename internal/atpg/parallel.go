@@ -31,6 +31,14 @@ type simPool struct {
 	noDom bool
 	// plan is the cached dominance schedule for the current reps slice.
 	plan *domPlan
+
+	// Telemetry: batches counts SimGood rounds (master shard, serial);
+	// work[i] counts Detects calls on shard i — each shard index is
+	// owned by exactly one goroutine per parFor call and reads happen
+	// after its WaitGroup, so plain ints are race-free. Flushed once at
+	// end of run.
+	batches int64
+	work    []int64
 }
 
 // newSimPool builds a pool of workers shards over the view. workers <= 0
@@ -40,7 +48,7 @@ func newSimPool(ctx context.Context, v *View, workers int) *simPool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	p := &simPool{ctx: ctx, sims: make([]*FaultSim, workers)}
+	p := &simPool{ctx: ctx, sims: make([]*FaultSim, workers), work: make([]int64, workers)}
 	p.sims[0] = NewFaultSim(v)
 	for i := 1; i < workers; i++ {
 		p.sims[i] = p.sims[0].NewShard()
@@ -60,7 +68,10 @@ func (p *simPool) NewBatch() *Batch { return p.sims[0].NewBatch() }
 
 // SimGood simulates the fault-free circuit for the batch on the master
 // shard; the shared good plane becomes visible to every shard.
-func (p *simPool) SimGood(b *Batch) { p.sims[0].SimGood(b) }
+func (p *simPool) SimGood(b *Batch) {
+	p.batches++
+	p.sims[0].SimGood(b)
+}
 
 // domPlan schedules a reps slice for two-phase detection: leaf classes
 // (no dominance children) first, then parent classes, which can inherit a
@@ -68,9 +79,9 @@ func (p *simPool) SimGood(b *Batch) { p.sims[0].SimGood(b) }
 // simulating. Valid only for boolean (early-exit) consumers: the
 // inherited word proves detection but is not the parent's exact word.
 type domPlan struct {
-	reps      []int32 // identity key: same backing array ⇒ same plan
-	leafPos   []int32 // positions in reps with no dominance children
-	parentPos []int32 // positions with at least one child
+	reps      []int32   // identity key: same backing array ⇒ same plan
+	leafPos   []int32   // positions in reps with no dominance children
+	parentPos []int32   // positions with at least one child
 	childPos  [][]int32 // per parent position: leaf-child positions
 }
 
@@ -118,6 +129,7 @@ func (p *simPool) detectEach(reps []int32, set *fault.Set, b *Batch, earlyExit b
 	sim := func(shard, i int) {
 		r := reps[i]
 		if include(r) {
+			p.work[shard]++
 			out[i] = p.sims[shard].Detects(set.Faults[r], b, earlyExit)
 		} else {
 			out[i] = 0
@@ -148,6 +160,7 @@ func (p *simPool) detectEach(reps []int32, set *fault.Set, b *Batch, earlyExit b
 				return
 			}
 		}
+		p.work[shard]++
 		out[i] = p.sims[shard].Detects(set.Faults[r], b, true)
 	})
 }

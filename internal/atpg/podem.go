@@ -27,6 +27,13 @@ type podem struct {
 	btLimit int
 
 	decisions []decision
+
+	// Search-effort statistics (the generator is strictly serial, so
+	// plain ints suffice); atpg flushes them into telemetry counters
+	// once per run. They replace any per-event logging: the engine is
+	// silent by default and the numbers still reach the trace.
+	nTargets    int64 // generate calls (primary PODEM targets)
+	nBacktracks int64 // decision flips across generate and extend
 }
 
 type decision struct {
@@ -44,6 +51,7 @@ func newPodem(v *View, ta *testability.Analysis, btLimit int) *podem {
 func (p *podem) generate(f fault.Fault) ([]int8, genResult) {
 	p.s.setFault(f)
 	p.decisions = p.decisions[:0]
+	p.nTargets++
 	backtracks := 0
 
 	for {
@@ -72,6 +80,7 @@ func (p *podem) generate(f fault.Fault) ([]int8, genResult) {
 				d.flipped = true
 				d.val = 1 - d.val
 				backtracks++
+				p.nBacktracks++
 				if backtracks > p.btLimit {
 					return nil, genAborted
 				}
@@ -119,6 +128,7 @@ func (p *podem) extend(f fault.Fault, budget int) bool {
 				d.flipped = true
 				d.val = 1 - d.val
 				backtracks++
+				p.nBacktracks++
 				if backtracks > budget {
 					p.rollback(checkpoint)
 					return false

@@ -11,6 +11,7 @@ import (
 
 	"tpilayout/internal/netlist"
 	"tpilayout/internal/place"
+	"tpilayout/internal/telemetry"
 )
 
 // Options configures clock-tree synthesis.
@@ -21,6 +22,10 @@ type Options struct {
 	// BufferCell is the library buffer used for tree levels (default
 	// BUFX8).
 	BufferCell string
+	// Telemetry, when non-nil, receives the clock-tree counters
+	// (cts.domains, cts.sinks, cts.buffers, cts.levels) on the CTS
+	// stage's span; silent (and free) by default.
+	Telemetry *telemetry.Span
 }
 
 // Result describes the synthesized trees.
@@ -48,6 +53,7 @@ func Insert(n *netlist.Netlist, p *place.Placement, opt Options) (*Result, error
 		opt.BufferCell = "BUFX8"
 	}
 	res := &Result{}
+	sinkTotal := 0
 	for dom := range n.Domains {
 		root := n.PIs[n.Domains[dom].ClockPI].Net
 		var sinks []sink
@@ -66,6 +72,7 @@ func Insert(n *netlist.Netlist, p *place.Placement, opt Options) (*Result, error
 		if len(sinks) == 0 {
 			continue
 		}
+		sinkTotal += len(sinks)
 		levels := buildTree(n, res, root, sinks, opt, fmt.Sprintf("ctb_d%d", dom), 0)
 		if levels > res.Levels {
 			res.Levels = levels
@@ -73,6 +80,12 @@ func Insert(n *netlist.Netlist, p *place.Placement, opt Options) (*Result, error
 	}
 	if err := p.ECO(); err != nil {
 		return nil, err
+	}
+	if sp := opt.Telemetry; sp != nil {
+		sp.Counter("cts.domains").Add(int64(len(n.Domains)))
+		sp.Counter("cts.sinks").Add(int64(sinkTotal))
+		sp.Counter("cts.buffers").Add(int64(len(res.Buffers)))
+		sp.Counter("cts.levels").Add(int64(res.Levels))
 	}
 	return res, nil
 }

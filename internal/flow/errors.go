@@ -49,6 +49,10 @@ const (
 	// StageSweep marks a failure in the sweep machinery itself, outside
 	// any single flow stage (e.g. a panic while cloning the design).
 	StageSweep = "sweep"
+	// StageRun is not an error stage: it names the telemetry span that
+	// wraps one whole flow run (one sweep level), under which the stage
+	// spans above nest.
+	StageRun = "run"
 )
 
 func (e *StageError) Error() string {

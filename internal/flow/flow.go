@@ -33,6 +33,7 @@ import (
 	"tpilayout/internal/scan"
 	"tpilayout/internal/sta"
 	"tpilayout/internal/supervise"
+	"tpilayout/internal/telemetry"
 	"tpilayout/internal/testdata"
 	"tpilayout/internal/tpi"
 )
@@ -62,11 +63,27 @@ type Config struct {
 	Deadline time.Time
 
 	// StageHook, when non-nil, is called at the entry of every flow stage
-	// with the stage name and the run's TP percentage. It serves
-	// progress reporting and instrumentation; a panicking hook exercises
-	// the same isolation path as a panicking stage (the run returns a
-	// StageError, the process survives).
+	// with the stage name and the run's TP percentage. It is the legacy
+	// entry-only shim over the telemetry layer: the hook fires exactly
+	// when the stage's telemetry span opens, and the span's close (with
+	// duration and error — guaranteed even when the stage panics) carries
+	// the exit half of the pair to the Telemetry sinks. A panicking hook
+	// exercises the same isolation path as a panicking stage (the run
+	// returns a StageError, the process survives, the open span is
+	// closed with the error).
 	StageHook func(stage string, tpPercent float64)
+
+	// Telemetry, when non-nil, traces the run: one "run" span wrapping
+	// one child span per flow stage (enter/exit/duration/error), with
+	// the stage counters of atpg/place/route/cts/sta attached. A nil
+	// Telemetry costs one nil check per instrumentation site.
+	Telemetry *telemetry.Tracer
+
+	// TelemetrySpan, when non-nil, nests the run's spans under an
+	// existing span instead of opening a new root — the sweep engine
+	// parents each level's run span under its sweep-root span. It wins
+	// over Telemetry.
+	TelemetrySpan *telemetry.Span
 
 	Scan  scan.Options
 	Place place.Options
@@ -107,6 +124,11 @@ type Result struct {
 	// cover only the detections achieved within the budget.
 	Truncated bool
 
+	// Telemetry is the run's finished span tree (stage durations,
+	// counters, gauges), nil unless Config.Telemetry or TelemetrySpan
+	// was set.
+	Telemetry *telemetry.Snapshot
+
 	Metrics Metrics
 }
 
@@ -115,11 +137,11 @@ type Metrics struct {
 	Circuit string
 
 	// Table 1: test data.
-	NumTP    int
-	NumFF    int
-	Chains   int
-	LMax     int
-	Faults   int
+	NumTP  int
+	NumFF  int
+	Chains int
+	LMax   int
+	Faults int
 	// FaultClasses / CollapsedClasses mirror the ATPG result's structural
 	// collapsing counters: equivalence classes, and classes remaining
 	// after dominance removal. FC/FE stay defined over the full universe.
@@ -127,8 +149,8 @@ type Metrics struct {
 	CollapsedClasses int
 	FC, FE           float64 // percent
 	Patterns         int
-	TDV      int64 // bits
-	TAT      int64 // cycles
+	TDV              int64 // bits
+	TAT              int64 // cycles
 
 	// Truncated mirrors Result.Truncated: the ATPG deadline expired and
 	// the Table 1 numbers reflect a budget-bounded run.
@@ -192,15 +214,33 @@ func RunInPlace(ctx context.Context, design *netlist.Netlist, cfg Config) (res *
 	}
 
 	// stage tracks the currently-running step so both the deferred panic
-	// handler and the cancellation checkpoints can name it.
+	// handler and the cancellation checkpoints can name it; stageSpan is
+	// that step's telemetry span (nil when telemetry is off).
 	stage := StageConfig
+	runSpan := cfg.runSpan()
+	var stageSpan *telemetry.Span
+	endStage := func(e error) {
+		stageSpan.EndErr(e)
+		stageSpan = nil
+	}
+	// The deferred close is what keeps span trees balanced on every exit:
+	// a panic (recovered here) or an error return closes the open stage
+	// span and the run span with the failure attached, so a trace always
+	// shows where the time went — the asymmetry the entry-only StageHook
+	// had.
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, newStageError(stage, cfg.TPPercent, supervise.AsPanicError(r))
 		}
+		if err != nil {
+			endStage(err)
+			runSpan.EndErr(err)
+		}
 	}()
 	enter := func(s string) error {
+		endStage(nil)
 		stage = s
+		stageSpan = runSpan.Child(s)
 		if cfg.StageHook != nil {
 			cfg.StageHook(s, cfg.TPPercent)
 		}
@@ -226,6 +266,7 @@ func RunInPlace(ctx context.Context, design *netlist.Netlist, cfg Config) (res *
 		return nil, fail(err)
 	}
 	res.TPs = tps
+	stageSpan.Counter("tpi.points").Add(int64(len(tps.Points)))
 	if err := enter(StageScan); err != nil {
 		return nil, err
 	}
@@ -234,12 +275,16 @@ func RunInPlace(ctx context.Context, design *netlist.Netlist, cfg Config) (res *
 		return nil, fail(err)
 	}
 	res.Scan = sc
+	stageSpan.Counter("scan.chains").Add(int64(sc.NumChains()))
+	stageSpan.Counter("scan.max_length").Add(int64(sc.MaxLength()))
 
 	// Step 2: floorplanning and placement.
 	if err := enter(StagePlace); err != nil {
 		return nil, err
 	}
-	pl, err := place.PlaceContext(ctx, n, cfg.Place)
+	popt := cfg.Place
+	popt.Telemetry = stageSpan
+	pl, err := place.PlaceContext(ctx, n, popt)
 	if err != nil {
 		return nil, fail(err)
 	}
@@ -254,6 +299,7 @@ func RunInPlace(ctx context.Context, design *netlist.Netlist, cfg Config) (res *
 		}
 		set := fault.NewUniverse(n)
 		aopt := cfg.ATPG
+		aopt.Telemetry = stageSpan
 		if aopt.Workers == 0 {
 			aopt.Workers = cfg.Workers
 		}
@@ -287,7 +333,9 @@ func RunInPlace(ctx context.Context, design *netlist.Netlist, cfg Config) (res *
 		if err := enter(StageCTS); err != nil {
 			return 0, err
 		}
-		ct, err := cts.Insert(n, res.Place, cfg.CTS)
+		copt := cfg.CTS
+		copt.Telemetry = stageSpan
+		ct, err := cts.Insert(n, res.Place, copt)
 		if err != nil {
 			return 0, fail(err)
 		}
@@ -299,10 +347,13 @@ func RunInPlace(ctx context.Context, design *netlist.Netlist, cfg Config) (res *
 			return 0, fail(err)
 		}
 		fillerArea := res.Place.InsertFillers()
+		stageSpan.Counter("eco.fillers").Add(int64(len(res.Place.FillerCells)))
 		if err := enter(StageRoute); err != nil {
 			return 0, err
 		}
-		rt, err := route.RouteContext(ctx, res.Place, cfg.Route)
+		ropt := cfg.Route
+		ropt.Telemetry = stageSpan
+		rt, err := route.RouteContext(ctx, res.Place, ropt)
 		if err != nil {
 			return 0, fail(err)
 		}
@@ -319,6 +370,7 @@ func RunInPlace(ctx context.Context, design *netlist.Netlist, cfg Config) (res *
 			return 0, err
 		}
 		sopt := cfg.STA
+		sopt.Telemetry = stageSpan
 		sopt.Constraints = cloneConstraints(cfg.STA.Constraints)
 		sopt.Constraints[sc.SE] = 0
 		for k, v := range tps.ApplicationConstraints() {
@@ -348,7 +400,8 @@ func RunInPlace(ctx context.Context, design *netlist.Netlist, cfg Config) (res *
 		if err := enter(StagePlace); err != nil {
 			return nil, err
 		}
-		pl, err := place.PlaceContext(ctx, n, cfg.Place)
+		popt.Telemetry = stageSpan
+		pl, err := place.PlaceContext(ctx, n, popt)
 		if err != nil {
 			return nil, fail(fmt.Errorf("re-place (round %d): %w", round+1, err))
 		}
@@ -360,7 +413,20 @@ func RunInPlace(ctx context.Context, design *netlist.Netlist, cfg Config) (res *
 	}
 
 	res.fillMetrics(tpCount, fillerArea)
+	endStage(nil)
+	runSpan.End()
+	res.Telemetry = runSpan.Snapshot()
 	return res, nil
+}
+
+// runSpan opens the span that wraps one whole run: a child of
+// TelemetrySpan when the caller (the sweep engine) provides a parent, a
+// root span from Telemetry otherwise, nil when telemetry is off.
+func (c *Config) runSpan() *telemetry.Span {
+	if c.TelemetrySpan != nil {
+		return c.TelemetrySpan.ChildTP(StageRun, c.TPPercent)
+	}
+	return c.Telemetry.StartSpan(StageRun, c.TPPercent)
 }
 
 // cloneConstraints returns a fresh constraints map seeded from m (which

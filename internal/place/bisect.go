@@ -54,6 +54,12 @@ type bisector struct {
 	locked  []bool
 	buckets [2*maxGain + 1][]int32
 	moves   []move
+
+	// stats accumulates the bisection's telemetry (serial recursion, so
+	// plain ints); place.global flushes it into the stage span once.
+	stats struct {
+		cuts, passes, movesKept, movesTried int64
+	}
 }
 
 type move struct {
@@ -161,6 +167,7 @@ func (b *bisector) run(ctx context.Context, cells []netlist.CellID, reg region, 
 		regB = region{r0: reg.r0, r1: reg.r1, x0: mid, x1: reg.x1}
 		fracA = 0.5
 	}
+	b.stats.cuts++
 	sideOf := b.partition(cells, fracA)
 	// Stable in-place split: side-0 cells keep their order as the prefix,
 	// side-1 cells follow in order (the recursion owns this subrange, so
@@ -312,6 +319,7 @@ func (b *bisector) partition(cells []netlist.CellID, fracA float64) []uint8 {
 
 	tol := totalArea*0.02 + 12*b.n.Lib.SiteWidth
 	for pass := 0; pass < b.passes; pass++ {
+		b.stats.passes++
 		if !b.fmPass(cells, side, kept, &areaA, targetA, tol) {
 			break
 		}
@@ -457,6 +465,8 @@ func (b *bisector) fmPass(cells []netlist.CellID, side []uint8, numNets int,
 			bestK = len(moves)
 		}
 	}
+	b.stats.movesTried += int64(len(moves))
+	b.stats.movesKept += int64(bestK)
 	// Roll back to the best prefix.
 	for k := len(moves) - 1; k >= bestK; k-- {
 		i := moves[k].cell

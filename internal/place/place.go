@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"tpilayout/internal/netlist"
+	"tpilayout/internal/telemetry"
 )
 
 // Options configures floorplanning and placement.
@@ -32,6 +33,10 @@ type Options struct {
 	// FMPasses is the number of refinement passes per bisection cut
 	// (default 2).
 	FMPasses int
+	// Telemetry, when non-nil, receives the placement counters
+	// (place.cuts, place.fm_passes, place.fm_moves, place.fm_moves_tried)
+	// on the placement stage's span. Nil costs nothing.
+	Telemetry *telemetry.Span
 }
 
 // Placement is a legalized row placement of a netlist.
@@ -158,10 +163,20 @@ func (p *Placement) global(ctx context.Context) error {
 		}
 	}
 	b := newBisector(n, p.Opt.FMPasses)
-	return b.run(ctx, cells, region{r0: 0, r1: p.NumRows, x0: 0, x1: p.RowLen}, func(id netlist.CellID, reg region) {
+	err := b.run(ctx, cells, region{r0: 0, r1: p.NumRows, x0: 0, x1: p.RowLen}, func(id netlist.CellID, reg region) {
 		p.Row[id] = int32(reg.r0)
 		p.X[id] = reg.x0
 	})
+	// The bisection is strictly serial, so the stats are plain ints,
+	// flushed once — zero cost on the recursion itself.
+	if sp := p.Opt.Telemetry; sp != nil {
+		sp.Counter("place.cells").Add(int64(len(cells)))
+		sp.Counter("place.cuts").Add(b.stats.cuts)
+		sp.Counter("place.fm_passes").Add(b.stats.passes)
+		sp.Counter("place.fm_moves").Add(b.stats.movesKept)
+		sp.Counter("place.fm_moves_tried").Add(b.stats.movesTried)
+	}
+	return err
 }
 
 // legalize packs the cells of each row left to right in bin order,

@@ -13,6 +13,7 @@ import (
 
 	"tpilayout/internal/netlist"
 	"tpilayout/internal/place"
+	"tpilayout/internal/telemetry"
 )
 
 // Options configures the router.
@@ -22,6 +23,10 @@ type Options struct {
 	// Capacity is the wire length (µm) a routing cell absorbs before it
 	// counts as congested (default 16 tracks × pitch).
 	Capacity float64
+	// Telemetry, when non-nil, receives the routing counters
+	// (route.nets, route.pins, route.overflows) and the route.total_um
+	// gauge on the routing stage's span. Nil costs nothing.
+	Telemetry *telemetry.Span
 }
 
 // Result holds the routed wire lengths.
@@ -93,6 +98,7 @@ func RouteContext(ctx context.Context, p *place.Placement, opt Options) (*Result
 	}
 	sort.SliceStable(jobs, func(i, j int) bool { return len(jobs[i].pins) > len(jobs[j].pins) })
 
+	pinTotal := 0
 	for ji, jb := range jobs {
 		if ji&63 == 0 && ctx != nil {
 			if err := ctx.Err(); err != nil {
@@ -102,8 +108,15 @@ func RouteContext(ctx context.Context, p *place.Placement, opt Options) (*Result
 		length := g.routeNet(jb.pins)
 		res.NetLen[jb.id] = length
 		res.Total += length
+		pinTotal += len(jb.pins)
 	}
 	res.Overflow = g.overflow
+	if sp := opt.Telemetry; sp != nil {
+		sp.Counter("route.nets").Add(int64(len(jobs)))
+		sp.Counter("route.pins").Add(int64(pinTotal))
+		sp.Counter("route.overflows").Add(int64(g.overflow))
+		sp.Gauge("route.total_um").Set(res.Total)
+	}
 	return res, nil
 }
 

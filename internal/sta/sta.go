@@ -19,6 +19,7 @@ import (
 	"tpilayout/internal/extract"
 	"tpilayout/internal/netlist"
 	"tpilayout/internal/stdcell"
+	"tpilayout/internal/telemetry"
 )
 
 // Options configures the analysis.
@@ -30,6 +31,11 @@ type Options struct {
 	InputSlew float64
 	// PrimaryOutputLoad is the external load on POs in fF (default 8).
 	PrimaryOutputLoad float64
+	// Telemetry, when non-nil, receives the analysis counters
+	// (sta.domains, sta.path_cells, sta.slow_nodes) and the
+	// sta.critical_tcp_ps / sta.worst_skew_ps gauges on the STA stage's
+	// span. Nil costs nothing.
+	Telemetry *telemetry.Span
 }
 
 // PathReport describes one domain's critical register-to-register path.
@@ -174,6 +180,21 @@ func AnalyzeContext(ctx context.Context, n *netlist.Netlist, par *extract.Parasi
 		res.PerDomain[dom] = rep
 	}
 	res.SlowNodes = a.slow
+	if sp := opt.Telemetry; sp != nil {
+		sp.Counter("sta.domains").Add(int64(len(res.PerDomain)))
+		sp.Counter("sta.slow_nodes").Add(int64(res.SlowNodes))
+		pathCells, worstTcp, worstSkew := 0, 0.0, 0.0
+		for _, rep := range res.PerDomain {
+			pathCells += len(rep.PathCells)
+			worstTcp = math.Max(worstTcp, rep.Tcp)
+		}
+		for _, sk := range res.WorstSkew {
+			worstSkew = math.Max(worstSkew, sk)
+		}
+		sp.Counter("sta.path_cells").Add(int64(pathCells))
+		sp.Gauge("sta.critical_tcp_ps").Set(worstTcp)
+		sp.Gauge("sta.worst_skew_ps").Set(worstSkew)
+	}
 	return res, nil
 }
 

@@ -1,0 +1,348 @@
+// Package telemetry is the flow's zero-dependency observability layer:
+// nested wall-clock spans for every stage of the Figure 2 flow, typed
+// counters and gauges recorded at the hot sites of ATPG, placement,
+// routing, clock-tree synthesis and STA, and pluggable sinks — an
+// in-memory snapshot tree, an NDJSON event stream (one JSON object per
+// line, jq/flamegraph-friendly), an expvar publisher, and live progress
+// lines.
+//
+// The layer is built to disappear: every method is safe on a nil
+// *Tracer / *Span / *Counter / *Gauge receiver and returns immediately,
+// so instrumented code holds plain pointers and pays one predictable nil
+// check per call when telemetry is off. The disabled path allocates
+// nothing and starts no goroutines.
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EventType discriminates the NDJSON event records.
+type EventType string
+
+const (
+	// EventSpanStart is emitted when a span opens.
+	EventSpanStart EventType = "span_start"
+	// EventSpanEnd is emitted exactly once when a span closes; it carries
+	// the duration, the error (if any), and the span's counter/gauge
+	// values.
+	EventSpanEnd EventType = "span_end"
+)
+
+// Event is one telemetry record. It doubles as the NDJSON wire format:
+// the trace file is one JSON-marshalled Event per line.
+type Event struct {
+	Type   EventType `json:"ev"`
+	ID     int64     `json:"id"`
+	Parent int64     `json:"parent,omitempty"` // 0 = root span
+	Stage  string    `json:"stage"`
+	// TPPercent is the test-point level the span belongs to; -1 on spans
+	// that aggregate several levels (the sweep root).
+	TPPercent float64   `json:"tp"`
+	Time      time.Time `json:"t"`
+	// DurNS is the span's wall-clock duration in nanoseconds (span_end
+	// only).
+	DurNS    int64              `json:"dur_ns,omitempty"`
+	Err      string             `json:"err,omitempty"`
+	Counters map[string]int64   `json:"counters,omitempty"`
+	Gauges   map[string]float64 `json:"gauges,omitempty"`
+}
+
+// Sink consumes telemetry events. Emit must be safe for concurrent use:
+// sweep workers close spans from multiple goroutines.
+type Sink interface {
+	Emit(e Event)
+}
+
+// FuncSink adapts a function to the Sink interface.
+type FuncSink func(Event)
+
+// Emit calls f.
+func (f FuncSink) Emit(e Event) { f(e) }
+
+// Tracer produces spans and fans their events out to its sinks. The
+// zero-cost disabled state is a nil *Tracer, not a Tracer with no sinks.
+type Tracer struct {
+	sinks []Sink
+	ids   atomic.Int64
+	now   func() time.Time // test hook; time.Now in production
+}
+
+// New returns a Tracer delivering events to the given sinks.
+func New(sinks ...Sink) *Tracer {
+	return &Tracer{sinks: sinks, now: time.Now}
+}
+
+// StartSpan opens a root span for one flow stage or sweep level. Safe on
+// a nil receiver (returns a nil span; the whole subtree is then free).
+func (t *Tracer) StartSpan(stage string, tpPercent float64) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.newSpan(nil, stage, tpPercent)
+}
+
+func (t *Tracer) newSpan(parent *Span, stage string, tp float64) *Span {
+	s := &Span{tr: t, id: t.ids.Add(1), parent: parent, stage: stage, tp: tp, start: t.now()}
+	var pid int64
+	if parent != nil {
+		pid = parent.id
+	}
+	t.emit(Event{Type: EventSpanStart, ID: s.id, Parent: pid, Stage: stage, TPPercent: tp, Time: s.start})
+	return s
+}
+
+func (t *Tracer) emit(e Event) {
+	for _, s := range t.sinks {
+		s.Emit(e)
+	}
+}
+
+// Span is one timed region — a flow stage, a sweep level, or a whole
+// run. Spans nest via Child, carry per-span counters and gauges, and
+// close exactly once (End is idempotent, so a deferred safety close
+// after an explicit close is a no-op). All methods are safe on a nil
+// receiver and safe for concurrent use.
+type Span struct {
+	tr     *Tracer
+	id     int64
+	parent *Span
+	stage  string
+	tp     float64
+	start  time.Time
+
+	mu       sync.Mutex
+	counters []*Counter
+	gauges   []*Gauge
+	children []*Snapshot
+	snap     *Snapshot // non-nil once ended
+}
+
+// Stage returns the span's stage name ("" on nil).
+func (s *Span) Stage() string {
+	if s == nil {
+		return ""
+	}
+	return s.stage
+}
+
+// TPPercent returns the span's test-point level (0 on nil).
+func (s *Span) TPPercent() float64 {
+	if s == nil {
+		return 0
+	}
+	return s.tp
+}
+
+// Child opens a nested span inheriting the parent's TP level.
+func (s *Span) Child(stage string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.newSpan(s, stage, s.tp)
+}
+
+// ChildTP opens a nested span at an explicit TP level (the sweep root
+// uses it to open one child per level).
+func (s *Span) ChildTP(stage string, tpPercent float64) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.newSpan(s, stage, tpPercent)
+}
+
+// Counter registers a named counter on the span. Its value is flushed
+// into the span_end event and the snapshot. Registering the same name
+// twice sums the two at flush time.
+func (s *Span) Counter(name string) *Counter {
+	if s == nil {
+		return nil
+	}
+	c := &Counter{name: name}
+	s.mu.Lock()
+	s.counters = append(s.counters, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Gauge registers a named gauge on the span.
+func (s *Span) Gauge(name string) *Gauge {
+	if s == nil {
+		return nil
+	}
+	g := &Gauge{name: name}
+	s.mu.Lock()
+	s.gauges = append(s.gauges, g)
+	s.mu.Unlock()
+	return g
+}
+
+// End closes the span successfully.
+func (s *Span) End() { s.EndErr(nil) }
+
+// EndErr closes the span, recording err (nil for success): the duration
+// is fixed, counters and gauges are flushed, the snapshot is attached to
+// the parent, and one span_end event is emitted. Only the first close
+// wins; later calls are no-ops, which lets a deferred EndErr guarantee
+// balance on panic/error paths without double-emitting on the happy
+// path.
+func (s *Span) EndErr(err error) {
+	if s == nil {
+		return
+	}
+	end := s.tr.now()
+	s.mu.Lock()
+	if s.snap != nil {
+		s.mu.Unlock()
+		return
+	}
+	snap := &Snapshot{
+		Stage:     s.stage,
+		TPPercent: s.tp,
+		Start:     s.start,
+		Duration:  end.Sub(s.start),
+		Children:  s.children,
+	}
+	if err != nil {
+		snap.Err = err.Error()
+	}
+	for _, c := range s.counters {
+		if v := c.Value(); v != 0 {
+			if snap.Counters == nil {
+				snap.Counters = make(map[string]int64, len(s.counters))
+			}
+			snap.Counters[c.name] += v
+		}
+	}
+	for _, g := range s.gauges {
+		// NaN/Inf would poison json.Marshal of the NDJSON line; drop them.
+		if v := g.Value(); v != 0 && !math.IsNaN(v) && !math.IsInf(v, 0) {
+			if snap.Gauges == nil {
+				snap.Gauges = make(map[string]float64, len(s.gauges))
+			}
+			snap.Gauges[g.name] = v
+		}
+	}
+	s.snap = snap
+	s.mu.Unlock()
+
+	if s.parent != nil {
+		s.parent.addChild(snap)
+	}
+	var pid int64
+	if s.parent != nil {
+		pid = s.parent.id
+	}
+	s.tr.emit(Event{
+		Type: EventSpanEnd, ID: s.id, Parent: pid, Stage: s.stage,
+		TPPercent: s.tp, Time: s.start, DurNS: int64(snap.Duration),
+		Err: snap.Err, Counters: snap.Counters, Gauges: snap.Gauges,
+	})
+}
+
+func (s *Span) addChild(sn *Snapshot) {
+	s.mu.Lock()
+	s.children = append(s.children, sn)
+	s.mu.Unlock()
+}
+
+// Snapshot returns the span's finished record, or nil before End. The
+// snapshot owns its subtree: children appear in the order they closed
+// (serial flow stages close in flow order; concurrent sweep levels close
+// in completion order).
+func (s *Span) Snapshot() *Snapshot {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snap
+}
+
+// Counter is a monotonically increasing span-scoped metric. Adds are
+// atomic, so shard goroutines may share one counter.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Add increases the counter; no-op on a nil receiver or n == 0.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value-wins span-scoped metric.
+type Gauge struct {
+	name string
+	bits atomic.Uint64
+}
+
+// Set records the gauge value; no-op on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the last set value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Snapshot is the in-memory record of one finished span and its
+// subtree; flow attaches the run's snapshot to Result.Telemetry.
+type Snapshot struct {
+	Stage     string             `json:"stage"`
+	TPPercent float64            `json:"tp"`
+	Start     time.Time          `json:"start"`
+	Duration  time.Duration      `json:"duration"`
+	Err       string             `json:"err,omitempty"`
+	Counters  map[string]int64   `json:"counters,omitempty"`
+	Gauges    map[string]float64 `json:"gauges,omitempty"`
+	Children  []*Snapshot        `json:"children,omitempty"`
+}
+
+// Find returns the first snapshot with the given stage name in a
+// depth-first walk of the subtree (including the receiver), or nil.
+func (sn *Snapshot) Find(stage string) *Snapshot {
+	if sn == nil {
+		return nil
+	}
+	if sn.Stage == stage {
+		return sn
+	}
+	for _, c := range sn.Children {
+		if f := c.Find(stage); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// Counter returns the named counter's value summed over the subtree.
+func (sn *Snapshot) Counter(name string) int64 {
+	if sn == nil {
+		return 0
+	}
+	total := sn.Counters[name]
+	for _, c := range sn.Children {
+		total += c.Counter(name)
+	}
+	return total
+}

@@ -1,0 +1,287 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilFastPath: the disabled layer is a nil tracer; every derived
+// handle is nil and every operation is a no-op, never a panic.
+func TestNilFastPath(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartSpan("run", 1)
+	if sp != nil {
+		t.Fatal("nil tracer produced a span")
+	}
+	child := sp.Child("atpg")
+	if child != nil {
+		t.Fatal("nil span produced a child")
+	}
+	c := child.Counter("atpg.patterns")
+	g := child.Gauge("atpg.util")
+	c.Add(5)
+	g.Set(0.5)
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatal("nil metrics returned nonzero values")
+	}
+	sp.ChildTP("level", 2).EndErr(errors.New("x"))
+	sp.End()
+	if sp.Snapshot() != nil {
+		t.Fatal("nil span produced a snapshot")
+	}
+}
+
+func TestSpanTreeSnapshot(t *testing.T) {
+	tr := New()
+	root := tr.StartSpan("run", 2)
+	a := root.Child("tpi")
+	a.Counter("tpi.points").Add(7)
+	a.End()
+	b := root.Child("atpg")
+	b.Counter("atpg.patterns").Add(100)
+	b.Counter("atpg.patterns").Add(1) // duplicate name sums
+	b.Gauge("atpg.util").Set(0.75)
+	b.EndErr(errors.New("boom"))
+	b.End() // idempotent: only the first close wins
+	root.End()
+
+	sn := root.Snapshot()
+	if sn == nil || sn.Stage != "run" || sn.TPPercent != 2 {
+		t.Fatalf("bad root snapshot: %+v", sn)
+	}
+	if len(sn.Children) != 2 || sn.Children[0].Stage != "tpi" || sn.Children[1].Stage != "atpg" {
+		t.Fatalf("children = %+v", sn.Children)
+	}
+	at := sn.Find("atpg")
+	if at.Counters["atpg.patterns"] != 101 {
+		t.Errorf("patterns = %d, want 101", at.Counters["atpg.patterns"])
+	}
+	if at.Gauges["atpg.util"] != 0.75 {
+		t.Errorf("util = %g", at.Gauges["atpg.util"])
+	}
+	if at.Err != "boom" {
+		t.Errorf("err = %q (second End must not overwrite)", at.Err)
+	}
+	if sn.Counter("atpg.patterns") != 101 || sn.Counter("tpi.points") != 7 {
+		t.Error("subtree counter sums wrong")
+	}
+}
+
+func TestNDJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewNDJSONSink(&buf)
+	tr := New(sink)
+	root := tr.StartSpan("run", 1)
+	st := root.Child("place")
+	st.Counter("place.moves").Add(3)
+	st.End()
+	root.Child("route").EndErr(errors.New("net 4: no path"))
+	root.End()
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 6 { // 3 starts + 3 ends
+		t.Fatalf("got %d lines, want 6:\n%s", len(lines), buf.String())
+	}
+	for i, line := range lines {
+		var e Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("line %d not valid JSON: %v", i+1, err)
+		}
+	}
+	trace, err := ParseTrace(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !trace.Balanced() {
+		t.Fatalf("unbalanced spans: %v", trace.Unbalanced)
+	}
+	if len(trace.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(trace.Spans))
+	}
+	var routeErr string
+	for _, s := range trace.Spans {
+		if s.Stage == "route" {
+			routeErr = s.Err
+		}
+		if s.Stage == "place" && s.Counters["place.moves"] != 3 {
+			t.Errorf("place counters = %v", s.Counters)
+		}
+	}
+	if routeErr != "net 4: no path" {
+		t.Errorf("route err = %q", routeErr)
+	}
+}
+
+func TestParseTraceUnbalanced(t *testing.T) {
+	in := `{"ev":"span_start","id":1,"stage":"run","tp":0,"t":"2026-01-01T00:00:00Z"}
+{"ev":"span_start","id":2,"parent":1,"stage":"tpi","tp":0,"t":"2026-01-01T00:00:00Z"}
+{"ev":"span_end","id":2,"parent":1,"stage":"tpi","tp":0,"t":"2026-01-01T00:00:00Z","dur_ns":5}
+`
+	trace, err := ParseTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Balanced() {
+		t.Fatal("open span 1 not reported")
+	}
+	if len(trace.Unbalanced) != 1 || trace.Unbalanced[0] != 1 {
+		t.Fatalf("Unbalanced = %v, want [1]", trace.Unbalanced)
+	}
+	if _, err := ParseTrace(strings.NewReader("{truncated")); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+}
+
+// TestConcurrentChildren models a parallel sweep: many goroutines open
+// and close children of one root while sharing a counter. Run with
+// -race.
+func TestConcurrentChildren(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewNDJSONSink(&buf)
+	tr := New(sink)
+	root := tr.StartSpan("sweep", -1)
+	shared := root.Counter("sweep.levels")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lv := root.ChildTP("run", float64(i))
+			lv.Counter("work.items").Add(int64(i))
+			st := lv.Child("place")
+			st.End()
+			lv.End()
+			shared.Add(1)
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	trace, err := ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !trace.Balanced() {
+		t.Fatalf("unbalanced: %v", trace.Unbalanced)
+	}
+	sn := root.Snapshot()
+	if len(sn.Children) != 8 {
+		t.Fatalf("root has %d children, want 8", len(sn.Children))
+	}
+	if sn.Counters["sweep.levels"] != 8 {
+		t.Fatalf("shared counter = %d", sn.Counters["sweep.levels"])
+	}
+	if got := trace.Levels(); len(got) != 8 {
+		t.Fatalf("levels = %v", got)
+	}
+}
+
+func TestExpvarSink(t *testing.T) {
+	sink := NewExpvarSink("telemetry_test")
+	if again := NewExpvarSink("telemetry_test"); again.m != sink.m {
+		t.Fatal("second NewExpvarSink did not reuse the published map")
+	}
+	tr := New(sink)
+	sp := tr.StartSpan("atpg", 1)
+	sp.Counter("atpg.patterns").Add(10)
+	sp.Gauge("atpg.util").Set(0.5)
+	sp.End()
+	sp2 := tr.StartSpan("atpg", 2)
+	sp2.Counter("atpg.patterns").Add(5)
+	sp2.End()
+
+	m := expvar.Get("telemetry_test").(*expvar.Map)
+	if got := m.Get("atpg.patterns").String(); got != "15" {
+		t.Errorf("atpg.patterns = %s, want 15", got)
+	}
+	if got := m.Get("stage.atpg.count").String(); got != "2" {
+		t.Errorf("stage.atpg.count = %s, want 2", got)
+	}
+	if got := m.Get("atpg.util").String(); got != "0.5" {
+		t.Errorf("atpg.util = %s, want 0.5", got)
+	}
+}
+
+func TestProgressSink(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(NewProgressSink(&buf))
+	sp := tr.StartSpan("place", 1.5)
+	sp.End()
+	tr.StartSpan("route", 2).EndErr(errors.New("bad"))
+	out := buf.String()
+	for _, want := range []string{"-> place", "ok place", "[1.5%]", "!! route", "error: bad"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("progress output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestGaugeNaNDropped: non-finite gauges must not poison the NDJSON
+// marshal.
+func TestGaugeNaNDropped(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewNDJSONSink(&buf)
+	tr := New(sink)
+	sp := tr.StartSpan("sta", 0)
+	sp.Gauge("sta.slack").Set(nan())
+	sp.End()
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseTrace(&buf); err != nil {
+		t.Fatalf("NaN gauge leaked into NDJSON: %v", err)
+	}
+}
+
+func nan() float64 { var z float64; return z / z }
+
+// The disabled-path benchmarks pin the "~ns overhead when off" claim;
+// the whole point of the nil fast path is that instrumented hot loops
+// cost nothing when no tracer is attached.
+func BenchmarkDisabledSpan(b *testing.B) {
+	var tr *Tracer
+	for i := 0; i < b.N; i++ {
+		sp := tr.StartSpan("stage", 1)
+		sp.Counter("x").Add(1)
+		sp.End()
+	}
+}
+
+func BenchmarkDisabledCounter(b *testing.B) {
+	var c *Counter
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkEnabledSpan(b *testing.B) {
+	tr := New() // no sinks: measures span bookkeeping alone
+	for i := 0; i < b.N; i++ {
+		sp := tr.StartSpan("stage", 1)
+		sp.Counter("x").Add(1)
+		sp.End()
+	}
+}
+
+func ExampleProgressSink() {
+	tr := New(NewProgressSink(nopWriter{}))
+	sp := tr.StartSpan("run", 1)
+	defer sp.End()
+	fmt.Println(sp.Stage(), sp.TPPercent())
+	// Output: run 1
+}
+
+type nopWriter struct{}
+
+func (nopWriter) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// SpanRecord is one reconstructed span of a parsed NDJSON trace: the
+// matched start/end pair with the end event's payload.
+type SpanRecord struct {
+	ID        int64
+	Parent    int64
+	Stage     string
+	TPPercent float64
+	Start     time.Time
+	Duration  time.Duration
+	Err       string
+	Counters  map[string]int64
+	Gauges    map[string]float64
+}
+
+// Trace is a parsed NDJSON trace file.
+type Trace struct {
+	Events []Event
+	// Spans holds every balanced start/end pair, in end-event order.
+	Spans []SpanRecord
+	// Unbalanced lists span IDs that started but never ended, or ended
+	// without a start — a crashed or mis-instrumented run.
+	Unbalanced []int64
+}
+
+// ParseTrace reads an NDJSON trace. Every line must parse as an Event;
+// a malformed line is an error (a trace that tails off mid-line came
+// from a crashed writer). Balance problems are reported in
+// Trace.Unbalanced, not as an error — call Balanced to gate on them.
+func ParseTrace(r io.Reader) (*Trace, error) {
+	tr := &Trace{}
+	open := map[int64]Event{}
+	ended := map[int64]bool{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			return nil, fmt.Errorf("trace line %d: %w", lineNo, err)
+		}
+		tr.Events = append(tr.Events, e)
+		switch e.Type {
+		case EventSpanStart:
+			open[e.ID] = e
+		case EventSpanEnd:
+			start, ok := open[e.ID]
+			if !ok {
+				tr.Unbalanced = append(tr.Unbalanced, e.ID)
+				continue
+			}
+			delete(open, e.ID)
+			ended[e.ID] = true
+			tr.Spans = append(tr.Spans, SpanRecord{
+				ID: e.ID, Parent: e.Parent, Stage: e.Stage,
+				TPPercent: e.TPPercent, Start: start.Time,
+				Duration: time.Duration(e.DurNS), Err: e.Err,
+				Counters: e.Counters, Gauges: e.Gauges,
+			})
+		default:
+			return nil, fmt.Errorf("trace line %d: unknown event type %q", lineNo, e.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for id := range open {
+		tr.Unbalanced = append(tr.Unbalanced, id)
+	}
+	sort.Slice(tr.Unbalanced, func(i, j int) bool { return tr.Unbalanced[i] < tr.Unbalanced[j] })
+	return tr, nil
+}
+
+// Balanced reports whether every span start has a matching end and vice
+// versa.
+func (tr *Trace) Balanced() bool { return len(tr.Unbalanced) == 0 }
+
+// Levels returns the distinct TP percentages of the trace's spans in
+// ascending order, excluding the -1 aggregate sentinel.
+func (tr *Trace) Levels() []float64 {
+	seen := map[float64]bool{}
+	var out []float64
+	for _, s := range tr.Spans {
+		if s.TPPercent >= 0 && !seen[s.TPPercent] {
+			seen[s.TPPercent] = true
+			out = append(out, s.TPPercent)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}

@@ -28,6 +28,7 @@ package tpilayout
 import (
 	"context"
 	"fmt"
+	"io"
 	"runtime"
 	"strings"
 	"sync"
@@ -39,6 +40,7 @@ import (
 	"tpilayout/internal/scan"
 	"tpilayout/internal/stdcell"
 	"tpilayout/internal/supervise"
+	"tpilayout/internal/telemetry"
 )
 
 // Re-exported core types. The internal packages remain the implementation
@@ -62,7 +64,42 @@ type (
 	// returned by Run/Sweep and their Context variants wraps one
 	// (recoverable with errors.As).
 	StageError = flow.StageError
+
+	// Tracer is the observability entry point: set Config.Telemetry to a
+	// NewTracer(...) and every flow stage and sweep level is timed and
+	// counted into the attached sinks. A nil Tracer is free.
+	Tracer = telemetry.Tracer
+	// TraceSink consumes telemetry events (NDJSON writer, progress
+	// printer, expvar publisher, or any custom implementation).
+	TraceSink = telemetry.Sink
+	// TraceEvent is one span_start/span_end record — also the NDJSON
+	// wire format, one JSON object per line.
+	TraceEvent = telemetry.Event
+	// TraceSpan is one timed region of a run.
+	TraceSpan = telemetry.Span
+	// Snapshot is the in-memory span tree of one run, attached to
+	// Result.Telemetry.
+	Snapshot = telemetry.Snapshot
+	// Trace is a parsed NDJSON trace file (see ParseTrace).
+	Trace = telemetry.Trace
 )
+
+// NewTracer builds a tracer delivering events to the given sinks.
+func NewTracer(sinks ...TraceSink) *Tracer { return telemetry.New(sinks...) }
+
+// NewNDJSONSink writes one JSON event per line to w (cmd/tracestat and
+// jq read the format back).
+func NewNDJSONSink(w io.Writer) *telemetry.NDJSONSink { return telemetry.NewNDJSONSink(w) }
+
+// NewProgressSink prints a human-readable line per stage start/end.
+func NewProgressSink(w io.Writer) *telemetry.ProgressSink { return telemetry.NewProgressSink(w) }
+
+// NewExpvarSink publishes live counters under the named expvar map.
+func NewExpvarSink(name string) *telemetry.ExpvarSink { return telemetry.NewExpvarSink(name) }
+
+// ParseTrace reads an NDJSON trace and reconstructs its spans,
+// reporting unbalanced start/end pairs.
+func ParseTrace(r io.Reader) (*Trace, error) { return telemetry.ParseTrace(r) }
 
 // DefaultLibrary returns the 130 nm-class standard-cell library used by
 // all experiments.
@@ -186,6 +223,16 @@ func SweepPartial(ctx context.Context, design *Netlist, cfg Config, tpPercents [
 	for i, pct := range tpPercents {
 		out[i].TPPercent = pct
 	}
+	// One sweep-root span parents every level's run span, so a trace of
+	// a parallel sweep still reads as one tree: sweep → run(tp) →
+	// stages. The -1 level marks the root as a cross-level aggregate.
+	var sweepSpan *telemetry.Span
+	if cfg.TelemetrySpan != nil {
+		sweepSpan = cfg.TelemetrySpan.ChildTP(flow.StageSweep, -1)
+	} else {
+		sweepSpan = cfg.Telemetry.StartSpan(flow.StageSweep, -1)
+	}
+	defer sweepSpan.End()
 	// The base circuit is cloned once per sweep and its derived caches
 	// (CSR adjacency, fanout view, levelization) are built eagerly, so
 	// the per-level clones below share the warmed cache pointers instead
@@ -206,6 +253,7 @@ func SweepPartial(ctx context.Context, design *Netlist, cfg Config, tpPercents [
 		}()
 		c := cfg
 		c.TPPercent = pct
+		c.TelemetrySpan = sweepSpan
 		// Each level runs in place on its own clone of the prewarmed
 		// base, so the shared base stays strictly read-only inside the
 		// worker and the flow pays no second defensive clone.

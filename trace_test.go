@@ -1,0 +1,109 @@
+package tpilayout
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// traceStages is the stage sequence every successful run span must
+// cover, in flow order (the Figure 2 flow with ATPG enabled).
+var traceStages = []string{"TPI", "scan", "place", "atpg", "cts", "eco",
+	"route", "extract", "sta"}
+
+// TestSweepTraceWellFormed runs a parallel sweep (Workers=4 — CI runs
+// this under -race) with an NDJSON sink attached and checks the trace
+// contract end to end: every line parses, spans balance, the sweep root
+// parents exactly one run span per TP level, and each run's stage
+// children arrive in deterministic flow order regardless of how the
+// workers interleaved.
+func TestSweepTraceWellFormed(t *testing.T) {
+	design, err := Generate(S38417Class().Scale(0.05), DefaultLibrary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := []float64{0, 1, 3}
+	var buf bytes.Buffer
+	sink := NewNDJSONSink(&buf)
+	cfg := ExperimentConfig("s38417c")
+	cfg.Workers = 4
+	cfg.Telemetry = NewTracer(sink)
+
+	results, err := SweepPartial(context.Background(), design, cfg, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lr := range results {
+		if lr.Err != nil {
+			t.Fatalf("level %.1f failed: %v", lr.TPPercent, lr.Err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every NDJSON line parses (ParseTrace errors on any malformed line).
+	trace, err := ParseTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !trace.Balanced() {
+		t.Fatalf("unbalanced spans: %v", trace.Unbalanced)
+	}
+	// 1 sweep root + per level (1 run + 9 stages).
+	if want := 1 + len(levels)*(1+len(traceStages)); len(trace.Spans) != want {
+		t.Fatalf("got %d spans, want %d", len(trace.Spans), want)
+	}
+	if got := trace.Levels(); len(got) != len(levels) {
+		t.Fatalf("trace levels = %v, want %v", got, levels)
+	}
+
+	// Reconstruct the tree: sweep root → one run per level → stages.
+	var sweepID int64 = -1
+	runID := map[float64]int64{}
+	for _, s := range trace.Spans {
+		switch s.Stage {
+		case "sweep":
+			if sweepID != -1 {
+				t.Fatal("more than one sweep root")
+			}
+			if s.TPPercent != -1 {
+				t.Fatalf("sweep root tp = %v, want -1 sentinel", s.TPPercent)
+			}
+			sweepID = s.ID
+		case "run":
+			if _, dup := runID[s.TPPercent]; dup {
+				t.Fatalf("two run spans at tp %.1f", s.TPPercent)
+			}
+			runID[s.TPPercent] = s.ID
+		}
+	}
+	if sweepID == -1 || len(runID) != len(levels) {
+		t.Fatalf("tree roots missing: sweep=%d runs=%v", sweepID, runID)
+	}
+	stagesOf := map[float64][]string{}
+	for _, s := range trace.Spans {
+		switch s.Stage {
+		case "sweep":
+		case "run":
+			if s.Parent != sweepID {
+				t.Fatalf("run tp %.1f parented to %d, not the sweep root", s.TPPercent, s.Parent)
+			}
+		default:
+			want, ok := runID[s.TPPercent]
+			if !ok || s.Parent != want {
+				t.Fatalf("stage %s (tp %.1f) parented to %d, want run %d", s.Stage, s.TPPercent, s.Parent, want)
+			}
+			stagesOf[s.TPPercent] = append(stagesOf[s.TPPercent], s.Stage)
+		}
+	}
+	// Spans end in deterministic flow order within each level: the
+	// NDJSON end-event order per run is exactly the stage sequence, even
+	// with four workers interleaving lines across levels.
+	for tp, got := range stagesOf {
+		if strings.Join(got, ",") != strings.Join(traceStages, ",") {
+			t.Errorf("tp %.1f stage order = %v, want %v", tp, got, traceStages)
+		}
+	}
+}
