@@ -5,8 +5,10 @@ BENCH_SECTION ?= current
 BENCH_OUT     ?= BENCH_PR3.json
 
 TRACE_OUT ?= trace.ndjson
+TRACE_BASELINE ?= trace_baseline.ndjson
+MAX_REGRESS ?= 25
 
-.PHONY: test race bench bench-json bench-smoke trace-smoke
+.PHONY: test race bench bench-json bench-smoke trace-smoke trace-diff metrics-smoke
 
 test:
 	go build ./... && go vet ./... && go test ./...
@@ -37,3 +39,35 @@ bench-smoke:
 trace-smoke:
 	go run ./cmd/tpiflow -circuit s38417c -scale 0.25 -tp 1 -trace $(TRACE_OUT) -progress
 	go run ./cmd/tracestat $(TRACE_OUT)
+
+# trace-diff is the cross-run regression sentinel: the fresh trace is
+# compared stage-by-stage against the committed baseline. -normalize
+# compares each stage's share of its run (machine-speed invariant) and
+# -min-dur keeps sub-100ms stages out of the gate; exit 1 names the
+# regressed stage and TP level.
+trace-diff:
+	go run ./cmd/tracediff -normalize -max-regress $(MAX_REGRESS) -min-dur 100ms $(TRACE_BASELINE) $(TRACE_OUT)
+
+# metrics-smoke starts a sweep with a live /metrics listener, scrapes it
+# mid-run, and asserts the exposition carries the expected histogram
+# families — the end-to-end check that PromSink, the -metrics flag, and
+# the hot-path instrumentation hang together outside of unit tests.
+# -workers 1 keeps the sweep serial so level 0's stages have all closed
+# (and are scrapeable) while level 1 is still running.
+metrics-smoke:
+	go run ./cmd/tpitables -circuits s38417c -scale 0.25 -levels 0,1 -workers 1 -table 1 -metrics localhost:9341 & \
+	pid=$$!; \
+	scraped=0; \
+	for i in $$(seq 1 600); do \
+		if curl -sf http://localhost:9341/metrics -o metrics-smoke.txt 2>/dev/null && \
+			grep -q tpilayout_route_net_ns metrics-smoke.txt && \
+			grep -q tpilayout_atpg_podem_ns metrics-smoke.txt; then scraped=1; break; fi; \
+		sleep 0.2; \
+	done; \
+	wait $$pid || { echo "metrics-smoke: sweep failed"; exit 1; }; \
+	test $$scraped = 1 || { echo "metrics-smoke: live scrape never saw the histogram families"; exit 1; }; \
+	for fam in tpilayout_spans_total tpilayout_stage_duration_ns_bucket tpilayout_stage_last_duration_ns \
+		tpilayout_atpg_podem_ns tpilayout_atpg_sim_batch_ns tpilayout_place_fm_cut_delta tpilayout_route_net_ns; do \
+		grep -q "$$fam" metrics-smoke.txt || { echo "metrics-smoke: missing family $$fam"; cat metrics-smoke.txt; exit 1; }; \
+	done; \
+	echo "metrics-smoke: live scrape OK, all families present"

@@ -1,5 +1,5 @@
 // Package obs wires the shared observability surface (-trace,
-// -progress, -pprof) into the tpilayout command-line tools.
+// -progress, -pprof, -metrics) into the tpilayout command-line tools.
 package obs
 
 import (
@@ -8,6 +8,7 @@ import (
 	"net/http"
 	_ "net/http/pprof" // -pprof serves the default mux
 	"os"
+	"sync"
 
 	"tpilayout"
 )
@@ -18,16 +19,48 @@ type Flags struct {
 	Trace    string
 	Progress bool
 	Pprof    string
+	Metrics  string
 }
 
-// Register installs -trace, -progress, and -pprof on the default
-// FlagSet. Call before flag.Parse.
+// Register installs -trace, -progress, -pprof, and -metrics on the
+// default FlagSet. Call before flag.Parse.
 func Register() *Flags {
 	f := &Flags{}
 	flag.StringVar(&f.Trace, "trace", "", "write an NDJSON span trace to this file (read it back with tracestat)")
 	flag.BoolVar(&f.Progress, "progress", false, "print live per-stage progress lines to stderr")
 	flag.StringVar(&f.Pprof, "pprof", "", "serve net/http/pprof plus live expvar counters on this address (e.g. localhost:6060)")
+	flag.StringVar(&f.Metrics, "metrics", "", "serve a Prometheus /metrics exposition on this address (shares the -pprof listener when the addresses match)")
 	return f
+}
+
+// The process-wide /metrics surface. One PromSink serves every Tracer
+// built in this process (repeated Tracer calls, flag re-parsing in
+// tests), because http.Handle — like expvar — panics on duplicate
+// registration.
+var (
+	promOnce sync.Once
+	promSink *tpilayout.PromSink
+)
+
+// metricsSink returns the process singleton PromSink, mounting it on
+// the default mux's /metrics on first use.
+func metricsSink() *tpilayout.PromSink {
+	promOnce.Do(func() {
+		promSink = tpilayout.NewPromSink("tpilayout")
+		http.Handle("/metrics", promSink)
+	})
+	return promSink
+}
+
+// serve starts a best-effort background HTTP server on the default mux:
+// the run proceeds even if the port is taken, it just reports why the
+// surface is unavailable.
+func serve(addr, what string) {
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "%s server on %s: %v\n", what, addr, err)
+		}
+	}()
 }
 
 // Tracer builds the tracer the flags select. It returns a nil tracer —
@@ -51,15 +84,17 @@ func (f *Flags) Tracer() (tr *tpilayout.Tracer, flush func() error, err error) {
 	}
 	if f.Pprof != "" {
 		sinks = append(sinks, tpilayout.NewExpvarSink("tpilayout"))
-		ln := f.Pprof
-		go func() {
-			// Background best-effort server: the run proceeds even if the
-			// port is taken, it just reports why profiling is unavailable.
-			if err := http.ListenAndServe(ln, nil); err != nil {
-				fmt.Fprintf(os.Stderr, "pprof server on %s: %v\n", ln, err)
-			}
-		}()
-		fmt.Fprintf(os.Stderr, "pprof+expvar on http://%s/debug/pprof and /debug/vars\n", ln)
+		serve(f.Pprof, "pprof")
+		fmt.Fprintf(os.Stderr, "pprof+expvar on http://%s/debug/pprof and /debug/vars\n", f.Pprof)
+	}
+	if f.Metrics != "" {
+		sinks = append(sinks, metricsSink())
+		// /metrics lives on the default mux, so when -pprof already
+		// listens on the same address one listener serves both surfaces.
+		if f.Metrics != f.Pprof {
+			serve(f.Metrics, "metrics")
+		}
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", f.Metrics)
 	}
 	if len(sinks) == 0 {
 		return nil, flush, nil

@@ -1,0 +1,310 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"tpilayout"
+)
+
+// key identifies one comparable cell: a flow stage at one TP level for
+// traces, a benchmark name (tp = -1) for ledgers.
+type key struct {
+	stage string
+	tp    float64
+}
+
+func (k key) String() string {
+	if k.tp < 0 {
+		return k.stage
+	}
+	return fmt.Sprintf("%s @ tp %.1f%%", k.stage, k.tp)
+}
+
+// cell is one side's aggregate for a key.
+type cell struct {
+	durNS    float64 // summed span durations (or ns/op for ledgers)
+	n        int64   // spans (or benchmark iterations)
+	counters map[string]int64
+}
+
+// side is one loaded input: its cells plus the per-level run totals
+// used by -normalize.
+type side struct {
+	cells    map[key]*cell
+	runTotal map[float64]float64 // tp -> summed run-span ns
+}
+
+// loadTrace aggregates an NDJSON trace into per-(stage, TP) cells:
+// every run span and every direct stage child of a run span counts,
+// summing durations and counters — repeated stages (timing-opt
+// re-placement) fold into one cell, matching how tracestat tabulates.
+func loadTrace(r io.Reader) (*side, error) {
+	trace, err := tpilayout.ParseTrace(r)
+	if err != nil {
+		return nil, err
+	}
+	if !trace.Balanced() {
+		return nil, fmt.Errorf("unbalanced trace (span ids %v)", trace.Unbalanced)
+	}
+	runLevel := map[int64]float64{}
+	s := &side{cells: map[key]*cell{}, runTotal: map[float64]float64{}}
+	for _, sp := range trace.Spans {
+		if sp.Stage == "run" {
+			runLevel[sp.ID] = sp.TPPercent
+			s.runTotal[sp.TPPercent] += float64(sp.Duration)
+		}
+	}
+	if len(runLevel) == 0 {
+		return nil, fmt.Errorf("no run spans in trace")
+	}
+	for _, sp := range trace.Spans {
+		var k key
+		if sp.Stage == "run" {
+			k = key{"run", sp.TPPercent}
+		} else if tp, ok := runLevel[sp.Parent]; ok {
+			k = key{sp.Stage, tp}
+		} else {
+			continue
+		}
+		c := s.cells[k]
+		if c == nil {
+			c = &cell{counters: map[string]int64{}}
+			s.cells[k] = c
+		}
+		c.n++
+		c.durNS += float64(sp.Duration)
+		for name, v := range sp.Counters {
+			c.counters[name] += v
+		}
+	}
+	return s, nil
+}
+
+// loadLedger reads one section of a benchjson ledger: each benchmark
+// becomes a tp = -1 cell with ns/op as its duration and the metrics map
+// as its counters (rounded — benchjson stores means).
+func loadLedger(r io.Reader, section string) (*side, error) {
+	type entry struct {
+		Iterations int64              `json:"iterations"`
+		NsPerOp    float64            `json:"ns_per_op"`
+		Metrics    map[string]float64 `json:"metrics"`
+	}
+	var ledger map[string]map[string]entry
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&ledger); err != nil {
+		return nil, fmt.Errorf("not a benchjson ledger: %w", err)
+	}
+	sec, ok := ledger[section]
+	if !ok {
+		var have []string
+		for name := range ledger {
+			have = append(have, name)
+		}
+		sort.Strings(have)
+		return nil, fmt.Errorf("no section %q (have %s)", section, strings.Join(have, ", "))
+	}
+	s := &side{cells: map[key]*cell{}, runTotal: map[float64]float64{}}
+	for name, e := range sec {
+		c := &cell{durNS: e.NsPerOp, n: e.Iterations, counters: map[string]int64{}}
+		for m, v := range e.Metrics {
+			c.counters[m] = int64(math.Round(v))
+		}
+		s.cells[key{name, -1}] = c
+		s.runTotal[-1] += e.NsPerOp
+	}
+	return s, nil
+}
+
+// options control the comparison.
+type options struct {
+	maxRegressPct  float64       // duration regression gate, in percent
+	hardRegressPct float64       // absolute-time backstop gate in -normalize mode (0 = off)
+	minDur         time.Duration // noise floor: smaller baseline cells never gate
+	normalize      bool          // compare share-of-run-total instead of absolute ns
+}
+
+// row is one line of the delta report.
+type row struct {
+	key
+	baseNS, curNS float64 // the compared values (ns, or shares ×100 when normalized)
+	deltaPct      float64 // (cur-base)/base in percent; NaN when base == 0
+	regressed     bool    // beyond the gate and above the noise floor
+	note          string  // "only in baseline" / "only in current" / counter deltas
+}
+
+// report is the full comparison outcome.
+type report struct {
+	rows        []row
+	regressions []row
+	normalized  bool
+}
+
+// value returns the comparable number for a cell: absolute summed ns,
+// or — normalized — the cell's percent share of its level's run total.
+func value(s *side, k key, c *cell, normalize bool) float64 {
+	if !normalize {
+		return c.durNS
+	}
+	total := s.runTotal[k.tp]
+	if k.stage == "run" || total == 0 {
+		// Run spans define the total; their share is 100 by construction.
+		return 100
+	}
+	return 100 * c.durNS / total
+}
+
+// diff compares baseline and current side by side.
+func diff(base, cur *side, opt options) *report {
+	rep := &report{normalized: opt.normalize}
+	keys := map[key]bool{}
+	for k := range base.cells {
+		keys[k] = true
+	}
+	for k := range cur.cells {
+		keys[k] = true
+	}
+	ordered := make([]key, 0, len(keys))
+	for k := range keys {
+		ordered = append(ordered, k)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].tp != ordered[j].tp {
+			return ordered[i].tp < ordered[j].tp
+		}
+		return ordered[i].stage < ordered[j].stage
+	})
+
+	for _, k := range ordered {
+		b, inBase := base.cells[k]
+		c, inCur := cur.cells[k]
+		switch {
+		case !inCur:
+			rep.rows = append(rep.rows, row{key: k, baseNS: value(base, k, b, opt.normalize), deltaPct: math.NaN(), note: "only in baseline"})
+			continue
+		case !inBase:
+			rep.rows = append(rep.rows, row{key: k, curNS: value(cur, k, c, opt.normalize), deltaPct: math.NaN(), note: "only in current"})
+			continue
+		}
+		r := row{
+			key:    k,
+			baseNS: value(base, k, b, opt.normalize),
+			curNS:  value(cur, k, c, opt.normalize),
+		}
+		if r.baseNS != 0 {
+			r.deltaPct = 100 * (r.curNS - r.baseNS) / r.baseNS
+		} else if r.curNS != 0 {
+			r.deltaPct = math.Inf(1)
+		}
+		// The gate: a duration regression beyond the threshold, on a cell
+		// big enough to clear the noise floor (floor always measured on
+		// absolute baseline time, even in -normalize mode).
+		if r.deltaPct > opt.maxRegressPct && b.durNS >= float64(opt.minDur) {
+			r.regressed = true
+		}
+		r.note = counterDelta(b.counters, c.counters)
+		// -normalize backstop: a stage that dominates its run is share-
+		// invariant (slowing it slows the run total too, and the ratio
+		// cancels — exactly like a slower machine). An absolute slip
+		// beyond the hard threshold is no host's jitter, so it gates even
+		// when the share barely moved.
+		if opt.normalize && opt.hardRegressPct > 0 && !r.regressed &&
+			b.durNS >= float64(opt.minDur) && b.durNS != 0 {
+			absPct := 100 * (c.durNS - b.durNS) / b.durNS
+			if absPct > opt.hardRegressPct {
+				r.regressed = true
+				note := fmt.Sprintf("absolute %s -> %s (%+.0f%%)", fmtDur(time.Duration(b.durNS)), fmtDur(time.Duration(c.durNS)), absPct)
+				if r.note != "" {
+					note += ", " + r.note
+				}
+				r.note = note
+			}
+		}
+		rep.rows = append(rep.rows, r)
+		if r.regressed {
+			rep.regressions = append(rep.regressions, r)
+		}
+	}
+	return rep
+}
+
+// counterDelta summarizes changed counters ("atpg.patterns 412->430"),
+// empty when every shared counter matches.
+func counterDelta(base, cur map[string]int64) string {
+	names := map[string]bool{}
+	for n := range base {
+		names[n] = true
+	}
+	for n := range cur {
+		names[n] = true
+	}
+	var changed []string
+	for n := range names {
+		if base[n] != cur[n] {
+			changed = append(changed, fmt.Sprintf("%s %d->%d", n, base[n], cur[n]))
+		}
+	}
+	sort.Strings(changed)
+	return strings.Join(changed, ", ")
+}
+
+// write renders the Table-2-style report: one row per stage × TP level,
+// baseline and current columns, signed delta, and any counter drift.
+func (rep *report) write(w io.Writer) {
+	unit := "wall time"
+	if rep.normalized {
+		unit = "share of run"
+	}
+	fmt.Fprintf(w, "%-24s %12s %12s %9s  %s\n", "stage", "baseline", "current", "delta", "notes")
+	for _, r := range rep.rows {
+		mark := " "
+		if r.regressed {
+			mark = "!"
+		}
+		fmt.Fprintf(w, "%s%-23s %12s %12s %9s  %s\n",
+			mark, r.key, rep.fmtVal(r.baseNS), rep.fmtVal(r.curNS), fmtDelta(r.deltaPct), r.note)
+	}
+	fmt.Fprintf(w, "\n%d cells compared (%s)", len(rep.rows), unit)
+	if len(rep.regressions) == 0 {
+		fmt.Fprint(w, ", no regressions beyond threshold\n")
+		return
+	}
+	fmt.Fprintf(w, ", %d REGRESSION(S):\n", len(rep.regressions))
+	for _, r := range rep.regressions {
+		fmt.Fprintf(w, "  %s: %s -> %s (%+.1f%%)\n", r.key, rep.fmtVal(r.baseNS), rep.fmtVal(r.curNS), r.deltaPct)
+	}
+}
+
+func (rep *report) fmtVal(v float64) string {
+	if rep.normalized {
+		return fmt.Sprintf("%.1f%%", v)
+	}
+	return fmtDur(time.Duration(v))
+}
+
+func fmtDelta(pct float64) string {
+	if math.IsNaN(pct) {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", pct)
+}
+
+// fmtDur renders a duration at table-friendly precision (tracestat's
+// convention).
+func fmtDur(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "0"
+	case d >= time.Second || d <= -time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond || d <= -time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d)/1e6)
+	default:
+		return fmt.Sprintf("%dµs", d/time.Microsecond)
+	}
+}

@@ -1,0 +1,229 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// synthTrace renders a balanced NDJSON trace: one run span per TP level
+// with one child span per (stage, duration) pair. slow multiplies the
+// named stage's duration, the "artificially slowed stage" fixture.
+func synthTrace(levels []float64, stages map[string]time.Duration, slowStage string, slow float64) string {
+	var sb strings.Builder
+	id := int64(0)
+	ts := int64(1_700_000_000_000_000_000)
+	stamp := func(ns int64) string { return time.Unix(0, ns).UTC().Format(time.RFC3339Nano) }
+	for _, tp := range levels {
+		runID := id
+		id++
+		fmt.Fprintf(&sb, `{"ev":"span_start","id":%d,"stage":"run","tp":%g,"t":"%s"}`+"\n",
+			runID, tp, stamp(ts))
+		var total time.Duration
+		// Stage order must be deterministic for stable span IDs.
+		for _, st := range []string{"place", "atpg", "route"} {
+			d := stages[st]
+			if st == slowStage {
+				d = time.Duration(float64(d) * slow)
+			}
+			total += d
+			sid := id
+			id++
+			fmt.Fprintf(&sb, `{"ev":"span_start","id":%d,"parent":%d,"stage":"%s","tp":%g,"t":"%s"}`+"\n",
+				sid, runID, st, tp, stamp(ts))
+			fmt.Fprintf(&sb, `{"ev":"span_end","id":%d,"parent":%d,"stage":"%s","tp":%g,"t":"%s","dur_ns":%d,"counters":{"%s.work":%d}}`+"\n",
+				sid, runID, st, tp, stamp(ts+int64(d)), int64(d), st, 100)
+		}
+		fmt.Fprintf(&sb, `{"ev":"span_end","id":%d,"stage":"run","tp":%g,"t":"%s","dur_ns":%d}`+"\n",
+			runID, tp, stamp(ts+int64(total)), int64(total))
+	}
+	return sb.String()
+}
+
+var baseStages = map[string]time.Duration{
+	"place": 400 * time.Millisecond,
+	"atpg":  900 * time.Millisecond,
+	"route": 200 * time.Millisecond,
+}
+
+func TestDiffIdenticalTraces(t *testing.T) {
+	text := synthTrace([]float64{0, 1}, baseStages, "", 1)
+	base, err := loadTrace(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := loadTrace(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := diff(base, cur, options{maxRegressPct: 25})
+	if len(rep.regressions) != 0 {
+		t.Fatalf("identical traces regressed: %+v", rep.regressions)
+	}
+	// 2 levels × (3 stages + run).
+	if len(rep.rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rep.rows))
+	}
+	for _, r := range rep.rows {
+		if r.deltaPct != 0 || r.note != "" {
+			t.Errorf("row %s: delta %.1f%%, note %q", r.key, r.deltaPct, r.note)
+		}
+	}
+}
+
+func TestDiffFlagsSlowedStage(t *testing.T) {
+	base, _ := loadTrace(strings.NewReader(synthTrace([]float64{0, 1}, baseStages, "", 1)))
+	cur, _ := loadTrace(strings.NewReader(synthTrace([]float64{0, 1}, baseStages, "atpg", 1.6)))
+	rep := diff(base, cur, options{maxRegressPct: 25, minDur: 100 * time.Millisecond})
+	// The slowed stage gates at both levels; the run spans containing it
+	// regress past 25% too (900ms of 1.5s grew 1.6x) and are also named.
+	seen := map[string]bool{}
+	for _, r := range rep.regressions {
+		if r.stage != "atpg" && r.stage != "run" {
+			t.Errorf("flagged %s, want only atpg and its runs", r.key)
+		}
+		seen[r.key.String()] = true
+		if r.stage == "atpg" && (r.deltaPct < 59 || r.deltaPct > 61) {
+			t.Errorf("%s delta = %.1f%%, want ~60%%", r.key, r.deltaPct)
+		}
+	}
+	if !seen["atpg @ tp 0.0%"] || !seen["atpg @ tp 1.0%"] {
+		t.Fatalf("regressions = %+v, want atpg at both levels", rep.regressions)
+	}
+	if !seen["atpg @ tp 1.0%"] {
+		t.Errorf("regression keys %v missing atpg @ tp 1.0%%", seen)
+	}
+	// The report names the stage and level on its regression lines.
+	var sb strings.Builder
+	rep.write(&sb)
+	if !strings.Contains(sb.String(), "REGRESSION") || !strings.Contains(sb.String(), "atpg @ tp 1.0%") {
+		t.Fatalf("report missing regression naming:\n%s", sb.String())
+	}
+}
+
+func TestDiffNoiseFloorSuppresses(t *testing.T) {
+	base, _ := loadTrace(strings.NewReader(synthTrace([]float64{0}, baseStages, "", 1)))
+	cur, _ := loadTrace(strings.NewReader(synthTrace([]float64{0}, baseStages, "route", 2)))
+	// route doubled, but its 200ms baseline sits below the 300ms floor.
+	rep := diff(base, cur, options{maxRegressPct: 25, minDur: 300 * time.Millisecond})
+	if len(rep.regressions) != 0 {
+		t.Fatalf("noise floor did not suppress: %+v", rep.regressions)
+	}
+	// Without the floor it gates.
+	rep = diff(base, cur, options{maxRegressPct: 25})
+	if len(rep.regressions) != 1 || rep.regressions[0].stage != "route" {
+		t.Fatalf("expected route regression, got %+v", rep.regressions)
+	}
+}
+
+func TestDiffNormalizeCancelsUniformSlowdown(t *testing.T) {
+	// Current machine is uniformly 2x slower: every absolute duration
+	// doubles, every share stays identical.
+	slowAll := map[string]time.Duration{}
+	for st, d := range baseStages {
+		slowAll[st] = 2 * d
+	}
+	base, _ := loadTrace(strings.NewReader(synthTrace([]float64{0}, baseStages, "", 1)))
+	cur, _ := loadTrace(strings.NewReader(synthTrace([]float64{0}, slowAll, "", 1)))
+	if rep := diff(base, cur, options{maxRegressPct: 25}); len(rep.regressions) != 4 {
+		t.Fatalf("absolute mode should flag all 3 stages plus the run, got %+v", rep.regressions)
+	}
+	if rep := diff(base, cur, options{maxRegressPct: 25, normalize: true}); len(rep.regressions) != 0 {
+		t.Fatalf("normalize should cancel a uniform slowdown, got %+v", rep.regressions)
+	}
+	// A genuine shape change still shows through -normalize: atpg's
+	// share climbs from 60% to ~79%, +32% relative.
+	cur2, _ := loadTrace(strings.NewReader(synthTrace([]float64{0}, slowAll, "atpg", 2.5)))
+	rep := diff(base, cur2, options{maxRegressPct: 25, normalize: true})
+	if len(rep.regressions) != 1 || rep.regressions[0].stage != "atpg" {
+		t.Fatalf("normalized diff missed the shape change: %+v", rep.regressions)
+	}
+}
+
+func TestDiffHardRegressBackstop(t *testing.T) {
+	// A dominant stage is share-invariant: atpg at 90% of its run can
+	// triple and its share moves a few percent — -normalize alone never
+	// gates. The absolute backstop catches it.
+	dominant := map[string]time.Duration{
+		"place": 50 * time.Millisecond,
+		"atpg":  9 * time.Second,
+		"route": 50 * time.Millisecond,
+	}
+	base, _ := loadTrace(strings.NewReader(synthTrace([]float64{0}, dominant, "", 1)))
+	cur, _ := loadTrace(strings.NewReader(synthTrace([]float64{0}, dominant, "atpg", 3)))
+	if rep := diff(base, cur, options{maxRegressPct: 25, minDur: 100 * time.Millisecond, normalize: true}); len(rep.regressions) != 0 {
+		t.Fatalf("share gate alone should miss a dominant-stage slip, got %+v", rep.regressions)
+	}
+	rep := diff(base, cur, options{maxRegressPct: 25, hardRegressPct: 150, minDur: 100 * time.Millisecond, normalize: true})
+	// The run span containing the slip regresses absolutely too (same
+	// convention as unnormalized mode).
+	var atpgNote string
+	for _, r := range rep.regressions {
+		if r.stage != "atpg" && r.stage != "run" {
+			t.Errorf("backstop flagged %s, want only atpg and its run", r.key)
+		}
+		if r.stage == "atpg" {
+			atpgNote = r.note
+		}
+	}
+	if atpgNote == "" {
+		t.Fatalf("backstop missed the dominant-stage slip: %+v", rep.regressions)
+	}
+	if !strings.Contains(atpgNote, "absolute") || !strings.Contains(atpgNote, "+200%") {
+		t.Errorf("backstop note = %q, want absolute +200%% explanation", atpgNote)
+	}
+	// A 2x machine (uniform slowdown, under the 150%% backstop) still
+	// passes — the backstop threshold sits above host jitter.
+	slowAll := map[string]time.Duration{}
+	for st, d := range dominant {
+		slowAll[st] = 2 * d
+	}
+	cur2, _ := loadTrace(strings.NewReader(synthTrace([]float64{0}, slowAll, "", 1)))
+	if rep := diff(base, cur2, options{maxRegressPct: 25, hardRegressPct: 150, minDur: 100 * time.Millisecond, normalize: true}); len(rep.regressions) != 0 {
+		t.Fatalf("backstop gated a uniform 2x slowdown: %+v", rep.regressions)
+	}
+}
+
+func TestDiffCounterDrift(t *testing.T) {
+	text := synthTrace([]float64{0}, baseStages, "", 1)
+	base, _ := loadTrace(strings.NewReader(text))
+	cur, _ := loadTrace(strings.NewReader(strings.ReplaceAll(text, `"atpg.work":100`, `"atpg.work":140`)))
+	rep := diff(base, cur, options{maxRegressPct: 25})
+	var note string
+	for _, r := range rep.rows {
+		if r.stage == "atpg" {
+			note = r.note
+		}
+	}
+	if note != "atpg.work 100->140" {
+		t.Fatalf("counter drift note = %q", note)
+	}
+	if len(rep.regressions) != 0 {
+		t.Fatal("counter drift must not gate on its own")
+	}
+}
+
+func TestLoadLedger(t *testing.T) {
+	ledger := `{
+	  "table1": {
+	    "BenchmarkTable1_S38417": {"iterations": 5, "ns_per_op": 2e9, "metrics": {"patterns": 412}},
+	    "Stage/atpg": {"iterations": 6, "ns_per_op": 9e8}
+	  }
+	}`
+	s, err := loadLedger(strings.NewReader(ledger), "table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.cells[key{"BenchmarkTable1_S38417", -1}]
+	if c == nil || c.durNS != 2e9 || c.counters["patterns"] != 412 {
+		t.Fatalf("ledger cell = %+v", c)
+	}
+	if _, err := loadLedger(strings.NewReader(ledger), "missing"); err == nil ||
+		!strings.Contains(err.Error(), "table1") {
+		t.Fatalf("missing-section error should list sections, got %v", err)
+	}
+	if _, err := loadLedger(strings.NewReader("not json"), "x"); err == nil {
+		t.Fatal("garbage ledger accepted")
+	}
+}

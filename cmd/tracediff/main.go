@@ -1,0 +1,96 @@
+// Command tracediff compares two flow recordings — NDJSON span traces
+// (tpiflow -trace ...) or benchjson ledgers (*.json) — and prints a
+// Table-2-style per-stage delta report: baseline vs current duration
+// per stage × TP level, the signed percentage change, and any counter
+// drift (patterns, cuts, overflows — deterministic, so any drift is a
+// real behavioral change).
+//
+// It is the repo's cross-run regression sentinel: the exit status is 1
+// when any stage regressed beyond -max-regress percent, so CI can diff
+// a fresh trace-smoke artifact against the committed baseline and fail
+// the build on a real slowdown.
+//
+// Usage:
+//
+//	tracediff [flags] baseline current
+//
+//	tpiflow -circuit s38417c -trace new.ndjson
+//	tracediff -max-regress 25 -min-dur 100ms trace_baseline.ndjson new.ndjson
+//	tracediff -base-section baseline BENCH_BASELINE.json BENCH_PR5.json
+//
+// Wall-clock comparisons across machines are noisy; -normalize compares
+// each stage's share of its run's total time instead of absolute
+// durations, which cancels machine speed, and -min-dur suppresses
+// sub-threshold stages entirely. A stage that dominates its run is
+// share-invariant (slowing it slows the run too), so -normalize keeps
+// an absolute backstop: -hard-regress gates any stage whose wall time
+// grew beyond that percentage regardless of share. Inputs ending in
+// .json are read as benchjson ledgers (pick the section with -section);
+// everything else is parsed as an NDJSON trace.
+//
+// Exit status: 0 clean, 1 regression beyond threshold, 2 usage or
+// parse failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	maxRegress := flag.Float64("max-regress", 25, "fail (exit 1) when a stage's duration grew by more than this percentage")
+	minDur := flag.Duration("min-dur", 0, "noise floor: stages whose baseline duration is below this never gate (e.g. 100ms)")
+	normalize := flag.Bool("normalize", false, "compare each stage's share of run total instead of absolute durations (machine-speed invariant)")
+	hardRegress := flag.Float64("hard-regress", 150, "with -normalize: absolute-time backstop — a stage whose wall time grew beyond this percentage gates even if its share of the run barely moved (dominant stages are share-invariant); 0 disables")
+	section := flag.String("section", "current", "ledger section to read when an input is a benchjson *.json file")
+	baseSection := flag.String("base-section", "", "ledger section for the baseline file (default: same as -section)")
+	flag.Parse()
+
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracediff [flags] baseline current")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if *baseSection == "" {
+		*baseSection = *section
+	}
+	base, err := load(flag.Arg(0), *baseSection)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracediff: %s: %v\n", flag.Arg(0), err)
+		os.Exit(2)
+	}
+	cur, err := load(flag.Arg(1), *section)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracediff: %s: %v\n", flag.Arg(1), err)
+		os.Exit(2)
+	}
+
+	rep := diff(base, cur, options{
+		maxRegressPct:  *maxRegress,
+		hardRegressPct: *hardRegress,
+		minDur:         *minDur,
+		normalize:      *normalize,
+	})
+	rep.write(os.Stdout)
+	if len(rep.regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "tracediff: %d stage(s) regressed beyond threshold (vs %s)\n",
+			len(rep.regressions), flag.Arg(0))
+		os.Exit(1)
+	}
+}
+
+// load reads one input, dispatching on the suffix: *.json is a
+// benchjson ledger, anything else an NDJSON trace.
+func load(path, section string) (*side, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		return loadLedger(f, section)
+	}
+	return loadTrace(f)
+}

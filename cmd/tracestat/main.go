@@ -22,6 +22,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"tpilayout"
@@ -34,6 +35,8 @@ const stageRun = "run"
 
 func main() {
 	showCounters := flag.Bool("counters", true, "print stage counter and gauge totals after the timing table")
+	p50 := flag.Bool("p50", true, "print a median column per histogram in the distribution table")
+	p99 := flag.Bool("p99", true, "print a 99th-percentile column per histogram in the distribution table")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -58,7 +61,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tracestat:", err)
 		os.Exit(1)
 	}
-	summarize(os.Stdout, name, trace, *showCounters)
+	summarize(os.Stdout, name, trace, *showCounters, *p50, *p99)
 	if !trace.Balanced() {
 		fmt.Fprintf(os.Stderr, "tracestat: UNBALANCED trace — %d span(s) without a matching start/end: ids %v\n",
 			len(trace.Unbalanced), trace.Unbalanced)
@@ -66,7 +69,7 @@ func main() {
 	}
 }
 
-func summarize(w io.Writer, name string, trace *tpilayout.Trace, showCounters bool) {
+func summarize(w io.Writer, name string, trace *tpilayout.Trace, showCounters, p50, p99 bool) {
 	levels := trace.Levels()
 
 	// First pass: identify run spans and attribute them to their level.
@@ -92,9 +95,25 @@ func summarize(w io.Writer, name string, trace *tpilayout.Trace, showCounters bo
 	var stageOrder []string
 	counters := map[string]map[float64]int64{}
 	gauges := map[string]map[float64]float64{}
+	hists := map[string]map[float64]tpilayout.HistData{}
 	for _, s := range trace.Spans {
 		tp, ok := runLevel[s.Parent]
 		if !ok {
+			if s.Stage == stageRun {
+				tp = s.TPPercent // run-span histograms (flow.stage_ns)
+			} else {
+				continue
+			}
+		}
+		for h, d := range s.Hists {
+			if hists[h] == nil {
+				hists[h] = map[float64]tpilayout.HistData{}
+			}
+			merged := hists[h][tp]
+			merged.Merge(d)
+			hists[h][tp] = merged
+		}
+		if s.Stage == stageRun {
 			continue
 		}
 		if stageDur[s.Stage] == nil {
@@ -165,28 +184,74 @@ func summarize(w io.Writer, name string, trace *tpilayout.Trace, showCounters bo
 			100*float64(stageTotal)/float64(runTotal), fmtDur(runTotal))
 	}
 
-	if !showCounters || (len(counters) == 0 && len(gauges) == 0) {
+	if showCounters && (len(counters) > 0 || len(gauges) > 0) {
+		fmt.Fprintf(w, "\n%-26s", "counter")
+		for _, tp := range levels {
+			fmt.Fprint(w, cell(fmt.Sprintf("tp %.1f%%", tp)))
+		}
+		fmt.Fprintln(w)
+		for _, c := range sortedKeys(counters) {
+			fmt.Fprintf(w, "%-26s", c)
+			for _, tp := range levels {
+				fmt.Fprint(w, cell(fmt.Sprintf("%d", counters[c][tp])))
+			}
+			fmt.Fprintln(w)
+		}
+		for _, g := range sortedKeys(gauges) {
+			fmt.Fprintf(w, "%-26s", g)
+			for _, tp := range levels {
+				fmt.Fprint(w, cell(fmt.Sprintf("%.3g", gauges[g][tp])))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+
+	// Distribution table: the per-level percentile estimates of every
+	// histogram the trace carries (PODEM latency, FM cut deltas, per-net
+	// route times, ...), one row per requested quantile.
+	if (!p50 && !p99) || len(hists) == 0 {
 		return
 	}
-	fmt.Fprintf(w, "\n%-26s", "counter")
+	fmt.Fprintf(w, "\n%-26s", "histogram")
 	for _, tp := range levels {
 		fmt.Fprint(w, cell(fmt.Sprintf("tp %.1f%%", tp)))
 	}
 	fmt.Fprintln(w)
-	for _, c := range sortedKeys(counters) {
-		fmt.Fprintf(w, "%-26s", c)
-		for _, tp := range levels {
-			fmt.Fprint(w, cell(fmt.Sprintf("%d", counters[c][tp])))
+	for _, h := range sortedKeys(hists) {
+		rows := []struct {
+			label string
+			q     float64
+			on    bool
+		}{
+			{"count", -1, true},
+			{"p50", 0.5, p50},
+			{"p99", 0.99, p99},
 		}
-		fmt.Fprintln(w)
-	}
-	for _, g := range sortedKeys(gauges) {
-		fmt.Fprintf(w, "%-26s", g)
-		for _, tp := range levels {
-			fmt.Fprint(w, cell(fmt.Sprintf("%.3g", gauges[g][tp])))
+		for _, r := range rows {
+			if !r.on {
+				continue
+			}
+			fmt.Fprintf(w, "%-26s", h+" "+r.label)
+			for _, tp := range levels {
+				d := hists[h][tp]
+				if r.q < 0 {
+					fmt.Fprint(w, cell(fmt.Sprintf("%d", d.Count)))
+				} else {
+					fmt.Fprint(w, cell(fmtQuantile(h, d.Quantile(r.q))))
+				}
+			}
+			fmt.Fprintln(w)
 		}
-		fmt.Fprintln(w)
 	}
+}
+
+// fmtQuantile renders a quantile estimate: duration-valued histograms
+// (name ending in _ns) as durations, everything else as a plain number.
+func fmtQuantile(name string, q float64) string {
+	if strings.HasSuffix(name, "_ns") {
+		return fmtDur(time.Duration(q))
+	}
+	return fmt.Sprintf("%.3g", q)
 }
 
 func sortedKeys[V any](m map[string]V) []string {

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tpilayout"
+)
+
+// synthetic trace: one run at tp 0 and one at tp 2, each with an atpg
+// stage carrying a counter and two histograms (a duration-valued one
+// and a dimensionless one). Bucket 20 is (0.52,1.05]ms, bucket 27 is
+// (67,134]ms — fixed data pins the quantile estimates.
+const traceText = `{"ev":"span_start","id":1,"stage":"run","tp":0,"t":"2026-08-06T12:00:00Z"}
+{"ev":"span_start","id":2,"parent":1,"stage":"atpg","tp":0,"t":"2026-08-06T12:00:00Z"}
+{"ev":"span_end","id":2,"parent":1,"stage":"atpg","tp":0,"t":"2026-08-06T12:00:01Z","dur_ns":1000000000,"counters":{"atpg.patterns":412},"hists":{"atpg.podem_ns":{"n":4,"s":200000,"b":{"20":3,"27":1}},"atpg.podem_bt_depth":{"n":4,"s":16,"b":{"2":4}}}}
+{"ev":"span_end","id":1,"stage":"run","tp":0,"t":"2026-08-06T12:00:02Z","dur_ns":2000000000}
+{"ev":"span_start","id":3,"stage":"run","tp":2,"t":"2026-08-06T12:00:00Z"}
+{"ev":"span_start","id":4,"parent":3,"stage":"atpg","tp":2,"t":"2026-08-06T12:00:00Z"}
+{"ev":"span_end","id":4,"parent":3,"stage":"atpg","tp":2,"t":"2026-08-06T12:00:01Z","dur_ns":1500000000,"counters":{"atpg.patterns":390},"hists":{"atpg.podem_ns":{"n":4,"s":400000,"b":{"20":2,"27":2}}}}
+{"ev":"span_end","id":3,"stage":"run","tp":2,"t":"2026-08-06T12:00:02Z","dur_ns":2500000000}
+`
+
+func parseFixture(t *testing.T) *tpilayout.Trace {
+	t.Helper()
+	trace, err := tpilayout.ParseTrace(strings.NewReader(traceText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace
+}
+
+// TestSummarizePercentileTable pins the -p50/-p99 distribution table
+// format exactly: histogram rows after the counter table, one count/
+// p50/p99 row per histogram, duration formatting for *_ns names.
+func TestSummarizePercentileTable(t *testing.T) {
+	var buf bytes.Buffer
+	summarize(&buf, "fixture", parseFixture(t), true, true, true)
+	out := buf.String()
+
+	want := `
+histogram                     tp 0.0%    tp 2.0%
+atpg.podem_bt_depth count           4          0
+atpg.podem_bt_depth p50             3          0
+atpg.podem_bt_depth p99          3.98          0
+atpg.podem_ns count                 4          4
+atpg.podem_ns p50               873µs      1.0ms
+atpg.podem_ns p99             131.5ms    132.9ms
+`
+	if !strings.Contains(out, want) {
+		t.Errorf("distribution table not pinned.\nwant section:\n%s\ngot output:\n%s", want, out)
+	}
+	// Counters still present, before the histogram table.
+	ci := strings.Index(out, "atpg.patterns")
+	hi := strings.Index(out, "histogram")
+	if ci < 0 || hi < 0 || ci > hi {
+		t.Errorf("counter table missing or misplaced:\n%s", out)
+	}
+}
+
+// TestSummarizePercentileFlags: -p50=false/-p99=false drop their rows;
+// both off drops the whole section.
+func TestSummarizePercentileFlags(t *testing.T) {
+	var buf bytes.Buffer
+	summarize(&buf, "fixture", parseFixture(t), false, false, true)
+	out := buf.String()
+	if strings.Contains(out, "p50") || !strings.Contains(out, "atpg.podem_ns p99") {
+		t.Errorf("-p50=false output wrong:\n%s", out)
+	}
+	if strings.Contains(out, "atpg.patterns") {
+		t.Errorf("-counters=false leaked counters:\n%s", out)
+	}
+
+	buf.Reset()
+	summarize(&buf, "fixture", parseFixture(t), true, false, false)
+	if strings.Contains(buf.String(), "histogram") {
+		t.Errorf("both percentile flags off should drop the section:\n%s", buf.String())
+	}
+}

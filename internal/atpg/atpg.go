@@ -164,7 +164,17 @@ func RunContext(ctx context.Context, n *netlist.Netlist, set *fault.Set, opt Opt
 	gen := newPodem(v, ta, opt.BacktrackLimit)
 	pool := newSimPool(ctx, v, opt.Workers)
 	pool.noDom = opt.noDomShortcut
+	pool.instrument(opt.Telemetry)
 	defer pool.Release()
+	// Per-call PODEM latency and backtrack-depth distributions. The
+	// generation loop is single-goroutine, so both record into local
+	// shards (plain ints) and merge once at flush; with telemetry off the
+	// nil locals also skip the time.Now pair per target.
+	var lPodemNS, lPodemBT *telemetry.LocalHist
+	if opt.Telemetry != nil {
+		lPodemNS = opt.Telemetry.Histogram("atpg.podem_ns").Local()
+		lPodemBT = opt.Telemetry.Histogram("atpg.podem_bt_depth").Local()
+	}
 	rng := rand.New(rand.NewSource(opt.FillSeed))
 	res = &Result{
 		View:             v,
@@ -258,7 +268,16 @@ func RunContext(ctx context.Context, n *netlist.Netlist, set *fault.Set, opt Opt
 				if expired() {
 					break
 				}
+				var t0 time.Time
+				btBefore := gen.nBacktracks
+				if lPodemNS != nil {
+					t0 = time.Now()
+				}
 				cube, g := gen.generate(set.Faults[r])
+				if lPodemNS != nil {
+					lPodemNS.Observe(int64(time.Since(t0)))
+					lPodemBT.Observe(gen.nBacktracks - btBefore)
+				}
 				switch g {
 				case genSuccess:
 					// The target is provably detected by its own pattern;
@@ -376,6 +395,8 @@ func RunContext(ctx context.Context, n *netlist.Netlist, set *fault.Set, opt Opt
 			res.AbortedClasses++
 		}
 	}
+	lPodemNS.Flush()
+	lPodemBT.Flush()
 	flushTelemetry(opt.Telemetry, res, gen, pool, randomGenerated)
 	return res, nil
 }
@@ -407,6 +428,9 @@ func flushTelemetry(sp *telemetry.Span, res *Result, gen *podem, pool *simPool, 
 		}
 	}
 	sp.Counter("atpg.sim_detect_calls").Add(total)
+	for _, l := range pool.detectNS {
+		l.Flush()
+	}
 	sp.Gauge("atpg.shards").Set(float64(len(pool.sims)))
 	if peak > 0 {
 		// 1.0 = every shard did equal work; the gap to 1 is idle shard

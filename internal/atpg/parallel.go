@@ -5,9 +5,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tpilayout/internal/fault"
 	"tpilayout/internal/supervise"
+	"tpilayout/internal/telemetry"
 )
 
 // simPool shards fault-parallel simulation across a set of FaultSim
@@ -39,6 +41,28 @@ type simPool struct {
 	// end of run.
 	batches int64
 	work    []int64
+
+	// Latency distributions, present only when the run is instrumented
+	// (see instrument): hBatch times each SimGood round, detectNS[i] is
+	// shard i's private histogram shard of per-fault Detects latency —
+	// same exclusive-ownership rule as work, flushed once at end of run.
+	hBatch   *telemetry.Histogram
+	detectNS []*telemetry.LocalHist
+}
+
+// instrument attaches the pool's latency histograms to the ATPG stage
+// span. A nil span leaves the pool uninstrumented: every hot-path site
+// then skips its time.Now pair entirely.
+func (p *simPool) instrument(sp *telemetry.Span) {
+	if sp == nil {
+		return
+	}
+	p.hBatch = sp.Histogram("atpg.sim_batch_ns")
+	h := sp.Histogram("atpg.sim_detect_ns")
+	p.detectNS = make([]*telemetry.LocalHist, len(p.sims))
+	for i := range p.detectNS {
+		p.detectNS[i] = h.Local()
+	}
 }
 
 // newSimPool builds a pool of workers shards over the view. workers <= 0
@@ -70,7 +94,25 @@ func (p *simPool) NewBatch() *Batch { return p.sims[0].NewBatch() }
 // shard; the shared good plane becomes visible to every shard.
 func (p *simPool) SimGood(b *Batch) {
 	p.batches++
+	if p.hBatch == nil {
+		p.sims[0].SimGood(b)
+		return
+	}
+	t0 := time.Now()
 	p.sims[0].SimGood(b)
+	p.hBatch.Observe(int64(time.Since(t0)))
+}
+
+// detects is the timed Detects entry: shard-private histogram recording
+// when instrumented, a straight call when not.
+func (p *simPool) detects(shard int, f fault.Fault, b *Batch, earlyExit bool) uint64 {
+	if p.detectNS == nil {
+		return p.sims[shard].Detects(f, b, earlyExit)
+	}
+	t0 := time.Now()
+	w := p.sims[shard].Detects(f, b, earlyExit)
+	p.detectNS[shard].Observe(int64(time.Since(t0)))
+	return w
 }
 
 // domPlan schedules a reps slice for two-phase detection: leaf classes
@@ -130,7 +172,7 @@ func (p *simPool) detectEach(reps []int32, set *fault.Set, b *Batch, earlyExit b
 		r := reps[i]
 		if include(r) {
 			p.work[shard]++
-			out[i] = p.sims[shard].Detects(set.Faults[r], b, earlyExit)
+			out[i] = p.detects(shard, set.Faults[r], b, earlyExit)
 		} else {
 			out[i] = 0
 		}
@@ -161,7 +203,7 @@ func (p *simPool) detectEach(reps []int32, set *fault.Set, b *Batch, earlyExit b
 			}
 		}
 		p.work[shard]++
-		out[i] = p.sims[shard].Detects(set.Faults[r], b, true)
+		out[i] = p.detects(shard, set.Faults[r], b, true)
 	})
 }
 

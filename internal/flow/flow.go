@@ -218,8 +218,16 @@ func RunInPlace(ctx context.Context, design *netlist.Netlist, cfg Config) (res *
 	// that step's telemetry span (nil when telemetry is off).
 	stage := StageConfig
 	runSpan := cfg.runSpan()
+	// flow.stage_ns collects the per-stage wall-time distribution of the
+	// whole run (re-placed stages contribute one observation each), so a
+	// trace or /metrics scrape can answer "where did the time go" without
+	// replaying every span. Nil when telemetry is off.
+	stageHist := runSpan.Histogram("flow.stage_ns")
 	var stageSpan *telemetry.Span
 	endStage := func(e error) {
+		if stageHist != nil && stageSpan != nil {
+			stageHist.Observe(int64(stageSpan.Elapsed()))
+		}
 		stageSpan.EndErr(e)
 		stageSpan = nil
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"tpilayout/internal/netlist"
+	"tpilayout/internal/telemetry"
 )
 
 // region is a rectangular slice of the core: rows [r0,r1) and the x span
@@ -60,6 +61,10 @@ type bisector struct {
 	stats struct {
 		cuts, passes, movesKept, movesTried int64
 	}
+	// hCutDelta is the per-FM-pass cut-improvement distribution
+	// (place.fm_cut_delta), a local shard because the recursion is
+	// serial; nil (and free) when telemetry is off.
+	hCutDelta *telemetry.LocalHist
 }
 
 type move struct {
@@ -467,6 +472,9 @@ func (b *bisector) fmPass(cells []netlist.CellID, side []uint8, numNets int,
 	}
 	b.stats.movesTried += int64(len(moves))
 	b.stats.movesKept += int64(bestK)
+	// Observed as a positive magnitude: bestDelta <= 0 by construction
+	// (the empty prefix scores 0), so -bestDelta is the pass's cut gain.
+	b.hCutDelta.Observe(int64(-bestDelta))
 	// Roll back to the best prefix.
 	for k := len(moves) - 1; k >= bestK; k-- {
 		i := moves[k].cell

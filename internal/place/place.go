@@ -163,6 +163,7 @@ func (p *Placement) global(ctx context.Context) error {
 		}
 	}
 	b := newBisector(n, p.Opt.FMPasses)
+	b.hCutDelta = p.Opt.Telemetry.Histogram("place.fm_cut_delta").Local()
 	err := b.run(ctx, cells, region{r0: 0, r1: p.NumRows, x0: 0, x1: p.RowLen}, func(id netlist.CellID, reg region) {
 		p.Row[id] = int32(reg.r0)
 		p.X[id] = reg.x0
@@ -175,6 +176,7 @@ func (p *Placement) global(ctx context.Context) error {
 		sp.Counter("place.fm_passes").Add(b.stats.passes)
 		sp.Counter("place.fm_moves").Add(b.stats.movesKept)
 		sp.Counter("place.fm_moves_tried").Add(b.stats.movesTried)
+		b.hCutDelta.Flush()
 	}
 	return err
 }

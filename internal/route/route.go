@@ -10,6 +10,7 @@ import (
 	"context"
 	"math"
 	"sort"
+	"time"
 
 	"tpilayout/internal/netlist"
 	"tpilayout/internal/place"
@@ -24,8 +25,9 @@ type Options struct {
 	// counts as congested (default 16 tracks × pitch).
 	Capacity float64
 	// Telemetry, when non-nil, receives the routing counters
-	// (route.nets, route.pins, route.overflows) and the route.total_um
-	// gauge on the routing stage's span. Nil costs nothing.
+	// (route.nets, route.pins, route.overflows), the route.total_um
+	// gauge, and the per-net route.net_ns / route.net_overflows
+	// distributions on the routing stage's span. Nil costs nothing.
 	Telemetry *telemetry.Span
 }
 
@@ -98,6 +100,14 @@ func RouteContext(ctx context.Context, p *place.Placement, opt Options) (*Result
 	}
 	sort.SliceStable(jobs, func(i, j int) bool { return len(jobs[i].pins) > len(jobs[j].pins) })
 
+	// Per-net latency and detour ("rip-up") distributions. The routing
+	// loop is serial, so both record into local shards; with telemetry
+	// off the nil locals also skip the time.Now pair per net.
+	var hNetNS, hNetOvf *telemetry.LocalHist
+	if sp := opt.Telemetry; sp != nil {
+		hNetNS = sp.Histogram("route.net_ns").Local()
+		hNetOvf = sp.Histogram("route.net_overflows").Local()
+	}
 	pinTotal := 0
 	for ji, jb := range jobs {
 		if ji&63 == 0 && ctx != nil {
@@ -105,7 +115,16 @@ func RouteContext(ctx context.Context, p *place.Placement, opt Options) (*Result
 				return nil, err
 			}
 		}
+		var t0 time.Time
+		ovfBefore := g.overflow
+		if hNetNS != nil {
+			t0 = time.Now()
+		}
 		length := g.routeNet(jb.pins)
+		if hNetNS != nil {
+			hNetNS.Observe(int64(time.Since(t0)))
+			hNetOvf.Observe(int64(g.overflow - ovfBefore))
+		}
 		res.NetLen[jb.id] = length
 		res.Total += length
 		pinTotal += len(jb.pins)
@@ -116,6 +135,8 @@ func RouteContext(ctx context.Context, p *place.Placement, opt Options) (*Result
 		sp.Counter("route.pins").Add(int64(pinTotal))
 		sp.Counter("route.overflows").Add(int64(g.overflow))
 		sp.Gauge("route.total_um").Set(res.Total)
+		hNetNS.Flush()
+		hNetOvf.Flush()
 	}
 	return res, nil
 }

@@ -1,0 +1,199 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// PromSink folds telemetry events into a live Prometheus exposition:
+// every counter becomes a `<prefix>_<name>_total` counter family,
+// every gauge a gauge family, every histogram a histogram family with
+// cumulative `_bucket`/`_sum`/`_count` series, and every span close
+// additionally feeds the built-in `<prefix>_stage_duration_ns`
+// histogram, the `<prefix>_stage_last_duration_ns` gauge, and the
+// `<prefix>_spans_total` / `<prefix>_span_errors_total` counters — so
+// every stage has a counter, a gauge, and a duration distribution even
+// where the stage itself records no explicit metrics. All series carry a
+// stage="<span stage>" label.
+//
+// PromSink is both a Sink (attach it to a Tracer) and an http.Handler
+// (mount it on /metrics): Emit and ServeHTTP synchronize on one mutex,
+// so a long-running sweep can be scraped while it runs. The output is
+// Prometheus text format version 0.0.4 — plain net/http, no client
+// library dependency.
+type PromSink struct {
+	prefix string
+
+	mu       sync.Mutex
+	counters map[string]map[string]float64   // family -> stage -> value
+	gauges   map[string]map[string]float64   // family -> stage -> value
+	hists    map[string]map[string]*HistData // family -> stage -> merged data
+}
+
+// NewPromSink returns an empty exposition surface. prefix namespaces
+// every family ("tpilayout" in the CLIs); it must already be a legal
+// metric-name prefix or it is sanitized like everything else.
+func NewPromSink(prefix string) *PromSink {
+	return &PromSink{
+		prefix:   promName(prefix),
+		counters: map[string]map[string]float64{},
+		gauges:   map[string]map[string]float64{},
+		hists:    map[string]map[string]*HistData{},
+	}
+}
+
+// Emit folds a span_end event into the live metric state.
+func (p *PromSink) Emit(e Event) {
+	if e.Type != EventSpanEnd {
+		return
+	}
+	stage := e.Stage
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.addCounter(p.prefix+"_spans_total", stage, 1)
+	if e.Err != "" {
+		p.addCounter(p.prefix+"_span_errors_total", stage, 1)
+	}
+	p.setGauge(p.prefix+"_stage_last_duration_ns", stage, float64(e.DurNS))
+	p.mergeHist(p.prefix+"_stage_duration_ns", stage, HistData{
+		Count: 1, Sum: e.DurNS,
+		Buckets: map[int]uint64{histBucketOf(e.DurNS): 1},
+	})
+	for name, v := range e.Counters {
+		p.addCounter(p.prefix+"_"+promName(name)+"_total", stage, float64(v))
+	}
+	for name, v := range e.Gauges {
+		p.setGauge(p.prefix+"_"+promName(name), stage, v)
+	}
+	for name, d := range e.Hists {
+		p.mergeHist(p.prefix+"_"+promName(name), stage, d)
+	}
+}
+
+func (p *PromSink) addCounter(family, stage string, v float64) {
+	if p.counters[family] == nil {
+		p.counters[family] = map[string]float64{}
+	}
+	p.counters[family][stage] += v
+}
+
+func (p *PromSink) setGauge(family, stage string, v float64) {
+	if p.gauges[family] == nil {
+		p.gauges[family] = map[string]float64{}
+	}
+	p.gauges[family][stage] = v
+}
+
+func (p *PromSink) mergeHist(family, stage string, d HistData) {
+	if p.hists[family] == nil {
+		p.hists[family] = map[string]*HistData{}
+	}
+	acc := p.hists[family][stage]
+	if acc == nil {
+		acc = &HistData{}
+		p.hists[family][stage] = acc
+	}
+	acc.Merge(d)
+}
+
+// ServeHTTP renders the exposition (Prometheus text format 0.0.4).
+func (p *PromSink) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p.writeExposition(w)
+}
+
+// writeExposition writes the full exposition to w, families sorted by name and
+// series sorted by stage label, so successive scrapes diff cleanly.
+func (p *PromSink) writeExposition(w io.Writer) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, fam := range sortedFamilies(p.counters) {
+		fmt.Fprintf(w, "# TYPE %s counter\n", fam)
+		for _, stage := range sortedStages(p.counters[fam]) {
+			fmt.Fprintf(w, "%s{stage=%q} %s\n", fam, stage, promFloat(p.counters[fam][stage]))
+		}
+	}
+	for _, fam := range sortedFamilies(p.gauges) {
+		fmt.Fprintf(w, "# TYPE %s gauge\n", fam)
+		for _, stage := range sortedStages(p.gauges[fam]) {
+			fmt.Fprintf(w, "%s{stage=%q} %s\n", fam, stage, promFloat(p.gauges[fam][stage]))
+		}
+	}
+	for _, fam := range sortedFamilies(p.hists) {
+		fmt.Fprintf(w, "# TYPE %s histogram\n", fam)
+		for _, stage := range sortedStages(p.hists[fam]) {
+			d := p.hists[fam][stage]
+			// Cumulative buckets over the populated range only: a sparse
+			// bucket set is valid exposition, and 64 mostly-empty series
+			// per histogram would bloat every scrape.
+			var idxs []int
+			for i := range d.Buckets {
+				idxs = append(idxs, i)
+			}
+			sort.Ints(idxs)
+			var cum uint64
+			for _, i := range idxs {
+				cum += d.Buckets[i]
+				le := "+Inf"
+				if i < histBuckets-1 {
+					le = strconv.FormatInt(HistBucketUpper(i), 10)
+				}
+				fmt.Fprintf(w, "%s_bucket{stage=%q,le=%q} %d\n", fam, stage, le, cum)
+			}
+			if len(idxs) == 0 || idxs[len(idxs)-1] < histBuckets-1 {
+				fmt.Fprintf(w, "%s_bucket{stage=%q,le=\"+Inf\"} %d\n", fam, stage, cum)
+			}
+			fmt.Fprintf(w, "%s_sum{stage=%q} %d\n", fam, stage, d.Sum)
+			fmt.Fprintf(w, "%s_count{stage=%q} %d\n", fam, stage, d.Count)
+		}
+	}
+}
+
+func sortedFamilies[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedStages[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// promFloat renders a sample value: integral values without an
+// exponent, everything else in Go's shortest form.
+func promFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promName sanitizes a telemetry name ("atpg.podem_ns") into a legal
+// Prometheus metric-name fragment ("atpg_podem_ns").
+func promName(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b[i] = '_'
+			}
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"errors"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func scrape(t *testing.T, p *PromSink) string {
+	t.Helper()
+	srv := httptest.NewServer(p)
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type = %q, want text format 0.0.4", ct)
+	}
+	var sb strings.Builder
+	buf := make([]byte, 64*1024)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String()
+}
+
+func TestPromSinkExposition(t *testing.T) {
+	p := NewPromSink("tpilayout")
+	tr := New(p)
+
+	sp := tr.StartSpan("atpg", 1)
+	sp.Counter("atpg.patterns").Add(412)
+	sp.Gauge("atpg.shard_util").Set(0.875)
+	h := sp.Histogram("atpg.podem_ns")
+	h.Observe(900)
+	h.Observe(1100)
+	h.Observe(1 << 30)
+	sp.End()
+
+	rt := tr.StartSpan("route", 1)
+	rt.Counter("route.overflows").Add(3)
+	rt.EndErr(errors.New("boom"))
+
+	out := scrape(t, p)
+
+	for _, want := range []string{
+		"# TYPE tpilayout_atpg_patterns_total counter",
+		`tpilayout_atpg_patterns_total{stage="atpg"} 412`,
+		"# TYPE tpilayout_atpg_shard_util gauge",
+		`tpilayout_atpg_shard_util{stage="atpg"} 0.875`,
+		"# TYPE tpilayout_atpg_podem_ns histogram",
+		`tpilayout_atpg_podem_ns_sum{stage="atpg"} 1073743824`,
+		`tpilayout_atpg_podem_ns_count{stage="atpg"} 3`,
+		`tpilayout_atpg_podem_ns_bucket{stage="atpg",le="+Inf"} 3`,
+		"# TYPE tpilayout_stage_duration_ns histogram",
+		`tpilayout_spans_total{stage="atpg"} 1`,
+		`tpilayout_spans_total{stage="route"} 1`,
+		`tpilayout_span_errors_total{stage="route"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+
+	// Buckets are cumulative and monotone: 900 and 1100 straddle the
+	// le=1024 bound, the 2^30 observation only reaches +Inf via the
+	// cumulative sum.
+	if !strings.Contains(out, `tpilayout_atpg_podem_ns_bucket{stage="atpg",le="1024"} 1`) {
+		t.Errorf("le=1024 bucket wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `tpilayout_atpg_podem_ns_bucket{stage="atpg",le="2048"} 2`) {
+		t.Errorf("le=2048 bucket wrong:\n%s", out)
+	}
+
+	// Basic text-format validity: every non-comment line is
+	// name{labels} value.
+	sample := regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*\{[^}]*\} -?[0-9.eE+\-Inf]+$`)
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sample.MatchString(line) {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+// TestPromSinkLiveScrape: scraping mid-run (some spans still open) is
+// safe and shows the closed spans — the live-sweep use case.
+func TestPromSinkLiveScrape(t *testing.T) {
+	p := NewPromSink("tpilayout")
+	tr := New(p)
+	root := tr.StartSpan("sweep", -1)
+	run := root.ChildTP("run", 1)
+	st := run.Child("place")
+	st.Counter("place.cuts").Add(7)
+	st.End()
+	// root and run still open.
+	out := scrape(t, p)
+	if !strings.Contains(out, `tpilayout_place_cuts_total{stage="place"} 7`) {
+		t.Fatalf("mid-run scrape missing closed stage:\n%s", out)
+	}
+	if strings.Contains(out, `stage="sweep"`) {
+		t.Fatalf("open span leaked into exposition:\n%s", out)
+	}
+	run.End()
+	root.End()
+	out = scrape(t, p)
+	if !strings.Contains(out, `tpilayout_spans_total{stage="sweep"} 1`) {
+		t.Fatalf("closed sweep missing:\n%s", out)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"atpg.podem_ns":  "atpg_podem_ns",
+		"route.total_um": "route_total_um",
+		"9lives":         "_lives",
+		"a-b c":          "a_b_c",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -96,14 +96,26 @@ type ExpvarSink struct {
 	m *expvar.Map
 }
 
-// NewExpvarSink publishes (or reuses) the named expvar map. Reuse keeps
-// the constructor safe to call more than once per process — expvar
-// itself panics on duplicate registration.
+// expvarMu serializes registration: expvar.Get-then-NewMap is a
+// check-then-act race, and expvar itself panics on a duplicate Publish.
+var expvarMu sync.Mutex
+
+// NewExpvarSink publishes (or reuses) the named expvar map. The
+// constructor is idempotent and safe to call concurrently: a second
+// sink for the same name shares the already-published map, and a name
+// already taken by a non-map expvar (which expvar.NewMap would panic
+// on) degrades to a private unpublished map instead of crashing the
+// process.
 func NewExpvarSink(name string) *ExpvarSink {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
 	if v := expvar.Get(name); v != nil {
 		if m, ok := v.(*expvar.Map); ok {
 			return &ExpvarSink{m: m}
 		}
+		// Name collision with a foreign expvar type: the sink still works,
+		// it just isn't visible on /debug/vars.
+		return &ExpvarSink{m: new(expvar.Map).Init()}
 	}
 	return &ExpvarSink{m: expvar.NewMap(name)}
 }

@@ -1,0 +1,62 @@
+package telemetry
+
+import (
+	"expvar"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpvarSinkIdempotent: constructing the sink twice for one name —
+// the second -pprof run in a single process — must reuse the published
+// map instead of panicking in expvar.Publish.
+func TestExpvarSinkIdempotent(t *testing.T) {
+	const name = "tpilayout_test_idem"
+	a := NewExpvarSink(name)
+	b := NewExpvarSink(name) // used to panic: duplicate Publish
+	if a.m != b.m {
+		t.Fatal("second sink did not reuse the published map")
+	}
+	a.Emit(Event{Type: EventSpanEnd, Stage: "place", DurNS: 10})
+	b.Emit(Event{Type: EventSpanEnd, Stage: "place", DurNS: 32})
+	if got := a.m.Get("stage.place.count").String(); got != "2" {
+		t.Fatalf("shared map count = %s, want 2", got)
+	}
+}
+
+// TestExpvarSinkForeignCollision: a name already claimed by a non-map
+// expvar (which expvar.NewMap panics on) degrades to a private map.
+func TestExpvarSinkForeignCollision(t *testing.T) {
+	const name = "tpilayout_test_foreign"
+	expvar.NewString(name).Set("taken")
+	s := NewExpvarSink(name)
+	s.Emit(Event{Type: EventSpanEnd, Stage: "route", DurNS: 7})
+	if got := s.m.Get("stage.route.count").String(); got != "1" {
+		t.Fatalf("private fallback map count = %s, want 1", got)
+	}
+	// The foreign var survives untouched.
+	if got := expvar.Get(name).String(); !strings.Contains(got, "taken") {
+		t.Fatalf("foreign expvar clobbered: %s", got)
+	}
+}
+
+// TestExpvarSinkConcurrentConstruct: racing constructors (parallel
+// tests, concurrent Tracer builds) are safe and converge on one map.
+func TestExpvarSinkConcurrentConstruct(t *testing.T) {
+	const name = "tpilayout_test_race"
+	sinks := make([]*ExpvarSink, 8)
+	var wg sync.WaitGroup
+	for i := range sinks {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sinks[i] = NewExpvarSink(name)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(sinks); i++ {
+		if sinks[i].m != sinks[0].m {
+			t.Fatalf("sink %d got a different map", i)
+		}
+	}
+}

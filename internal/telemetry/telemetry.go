@@ -49,6 +49,10 @@ type Event struct {
 	Err      string             `json:"err,omitempty"`
 	Counters map[string]int64   `json:"counters,omitempty"`
 	Gauges   map[string]float64 `json:"gauges,omitempty"`
+	// Hists carries the span's histogram snapshots (span_end only):
+	// sparse power-of-two bucket populations, mergeable across spans and
+	// across runs (see HistData).
+	Hists map[string]HistData `json:"hists,omitempty"`
 }
 
 // Sink consumes telemetry events. Emit must be safe for concurrent use:
@@ -117,6 +121,7 @@ type Span struct {
 	mu       sync.Mutex
 	counters []*Counter
 	gauges   []*Gauge
+	hists    []*Histogram
 	children []*Snapshot
 	snap     *Snapshot // non-nil once ended
 }
@@ -180,6 +185,32 @@ func (s *Span) Gauge(name string) *Gauge {
 	return g
 }
 
+// Histogram registers a named histogram on the span. Its snapshot is
+// flushed into the span_end event; registering the same name twice
+// merges the two at flush time (index-wise bucket addition). On a nil
+// span it returns a nil histogram, whose Observe (and whose Local
+// shards) cost one nil check each.
+func (s *Span) Histogram(name string) *Histogram {
+	if s == nil {
+		return nil
+	}
+	h := &Histogram{name: name}
+	s.mu.Lock()
+	s.hists = append(s.hists, h)
+	s.mu.Unlock()
+	return h
+}
+
+// Elapsed returns the wall time since the span opened (0 on nil). It
+// does not close the span; flow uses it to feed the per-stage wall
+// time into the stage's duration histogram just before the close.
+func (s *Span) Elapsed() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.tr.now().Sub(s.start)
+}
+
 // End closes the span successfully.
 func (s *Span) End() { s.EndErr(nil) }
 
@@ -226,6 +257,18 @@ func (s *Span) EndErr(err error) {
 			snap.Gauges[g.name] = v
 		}
 	}
+	for _, h := range s.hists {
+		d := h.Snapshot()
+		if d.Count == 0 {
+			continue
+		}
+		if snap.Hists == nil {
+			snap.Hists = make(map[string]HistData, len(s.hists))
+		}
+		merged := snap.Hists[h.name]
+		merged.Merge(d)
+		snap.Hists[h.name] = merged
+	}
 	s.snap = snap
 	s.mu.Unlock()
 
@@ -240,6 +283,7 @@ func (s *Span) EndErr(err error) {
 		Type: EventSpanEnd, ID: s.id, Parent: pid, Stage: s.stage,
 		TPPercent: s.tp, Time: s.start, DurNS: int64(snap.Duration),
 		Err: snap.Err, Counters: snap.Counters, Gauges: snap.Gauges,
+		Hists: snap.Hists,
 	})
 }
 
@@ -308,14 +352,15 @@ func (g *Gauge) Value() float64 {
 // Snapshot is the in-memory record of one finished span and its
 // subtree; flow attaches the run's snapshot to Result.Telemetry.
 type Snapshot struct {
-	Stage     string             `json:"stage"`
-	TPPercent float64            `json:"tp"`
-	Start     time.Time          `json:"start"`
-	Duration  time.Duration      `json:"duration"`
-	Err       string             `json:"err,omitempty"`
-	Counters  map[string]int64   `json:"counters,omitempty"`
-	Gauges    map[string]float64 `json:"gauges,omitempty"`
-	Children  []*Snapshot        `json:"children,omitempty"`
+	Stage     string              `json:"stage"`
+	TPPercent float64             `json:"tp"`
+	Start     time.Time           `json:"start"`
+	Duration  time.Duration       `json:"duration"`
+	Err       string              `json:"err,omitempty"`
+	Counters  map[string]int64    `json:"counters,omitempty"`
+	Gauges    map[string]float64  `json:"gauges,omitempty"`
+	Hists     map[string]HistData `json:"hists,omitempty"`
+	Children  []*Snapshot         `json:"children,omitempty"`
 }
 
 // Find returns the first snapshot with the given stage name in a
@@ -345,4 +390,20 @@ func (sn *Snapshot) Counter(name string) int64 {
 		total += c.Counter(name)
 	}
 	return total
+}
+
+// Hist returns the named histogram merged over the subtree — the
+// cross-level aggregation a sweep root's snapshot exposes.
+func (sn *Snapshot) Hist(name string) HistData {
+	var d HistData
+	if sn == nil {
+		return d
+	}
+	if h, ok := sn.Hists[name]; ok {
+		d.Merge(h)
+	}
+	for _, c := range sn.Children {
+		d.Merge(c.Hist(name))
+	}
+	return d
 }

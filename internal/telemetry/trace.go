@@ -21,6 +21,7 @@ type SpanRecord struct {
 	Err       string
 	Counters  map[string]int64
 	Gauges    map[string]float64
+	Hists     map[string]HistData
 }
 
 // Trace is a parsed NDJSON trace file.
@@ -70,7 +71,7 @@ func ParseTrace(r io.Reader) (*Trace, error) {
 				ID: e.ID, Parent: e.Parent, Stage: e.Stage,
 				TPPercent: e.TPPercent, Start: start.Time,
 				Duration: time.Duration(e.DurNS), Err: e.Err,
-				Counters: e.Counters, Gauges: e.Gauges,
+				Counters: e.Counters, Gauges: e.Gauges, Hists: e.Hists,
 			})
 		default:
 			return nil, fmt.Errorf("trace line %d: unknown event type %q", lineNo, e.Type)

@@ -82,6 +82,18 @@ type (
 	Snapshot = telemetry.Snapshot
 	// Trace is a parsed NDJSON trace file (see ParseTrace).
 	Trace = telemetry.Trace
+	// Histogram is a lock-free latency/size distribution attached to a
+	// span (power-of-two buckets, mergeable, nil is free).
+	Histogram = telemetry.Histogram
+	// LocalHist is a single-goroutine histogram shard, flushed into its
+	// parent Histogram at batch end.
+	LocalHist = telemetry.LocalHist
+	// HistData is a histogram snapshot: the NDJSON/ledger wire form with
+	// quantile estimation and index-wise merging.
+	HistData = telemetry.HistData
+	// PromSink folds telemetry into a Prometheus text exposition; mount
+	// it on /metrics and attach it to a Tracer to scrape a live sweep.
+	PromSink = telemetry.PromSink
 )
 
 // NewTracer builds a tracer delivering events to the given sinks.
@@ -96,6 +108,10 @@ func NewProgressSink(w io.Writer) *telemetry.ProgressSink { return telemetry.New
 
 // NewExpvarSink publishes live counters under the named expvar map.
 func NewExpvarSink(name string) *telemetry.ExpvarSink { return telemetry.NewExpvarSink(name) }
+
+// NewPromSink builds a Prometheus /metrics exposition surface (text
+// format 0.0.4) with every family namespaced under prefix.
+func NewPromSink(prefix string) *PromSink { return telemetry.NewPromSink(prefix) }
 
 // ParseTrace reads an NDJSON trace and reconstructs its spans,
 // reporting unbalanced start/end pairs.
