@@ -8,7 +8,7 @@ TRACE_OUT ?= trace.ndjson
 TRACE_BASELINE ?= trace_baseline.ndjson
 MAX_REGRESS ?= 25
 
-.PHONY: test race bench bench-json bench-smoke trace-smoke trace-diff metrics-smoke
+.PHONY: test race bench bench-json bench-smoke trace-smoke trace-diff metrics-smoke service-smoke
 
 test:
 	go build ./... && go vet ./... && go test ./...
@@ -71,3 +71,40 @@ metrics-smoke:
 		grep -q "$$fam" metrics-smoke.txt || { echo "metrics-smoke: missing family $$fam"; cat metrics-smoke.txt; exit 1; }; \
 	done; \
 	echo "metrics-smoke: live scrape OK, all families present"
+
+# service-smoke is the daemon CI gate: tpid is started for real, a
+# reduced-scale s38417c sweep is submitted over HTTP with curl, the
+# result endpoint must come back 200 with complete tables, an identical
+# resubmission must be answered as a cache hit without a second flow,
+# and /metrics must expose the service-level families next to the flow
+# ones. SIGTERM then drains the daemon and it must exit cleanly.
+service-smoke:
+	go build -o tpid-smoke ./cmd/tpid
+	@set -e; \
+	./tpid-smoke -addr localhost:9352 -workers 2 -flow-workers 2 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	up=0; for i in $$(seq 1 100); do \
+		curl -sf http://localhost:9352/healthz >/dev/null 2>&1 && { up=1; break; }; sleep 0.1; \
+	done; \
+	test $$up = 1 || { echo "service-smoke: tpid never came up"; exit 1; }; \
+	body='{"tenant":"smoke","circuit":{"spec":"s38417c","scale":0.05},"tp_levels":[0,2],"flow":{"experiment":"s38417c"}}'; \
+	id=$$(curl -sf -X POST -d "$$body" http://localhost:9352/v1/jobs | sed -n 's/.*"id": "\([^"]*\)".*/\1/p'); \
+	test -n "$$id" || { echo "service-smoke: submission rejected"; exit 1; }; \
+	echo "service-smoke: job $$id submitted"; \
+	ok=0; for i in $$(seq 1 600); do \
+		if curl -sf http://localhost:9352/v1/jobs/$$id/result -o service-smoke.json 2>/dev/null; then ok=1; break; fi; \
+		sleep 0.5; \
+	done; \
+	test $$ok = 1 || { echo "service-smoke: result never became ready"; exit 1; }; \
+	grep -q '"complete": true' service-smoke.json || { echo "service-smoke: sweep incomplete"; cat service-smoke.json; exit 1; }; \
+	grep -q 'Table 1: Impact of TPI' service-smoke.json || { echo "service-smoke: result carries no Table 1"; exit 1; }; \
+	curl -sf -X POST -d "$$body" http://localhost:9352/v1/jobs | grep -q '"cache_hit": true' \
+		|| { echo "service-smoke: identical resubmission was not a cache hit"; exit 1; }; \
+	curl -sf http://localhost:9352/metrics -o service-smoke-metrics.txt; \
+	for fam in tpid_service_jobs_submitted_total tpid_service_flow_runs_total tpid_service_jobs_done_total \
+		tpid_service_cache_hit_jobs_total tpid_service_queue_wait_ns tpid_spans_total; do \
+		grep -q "$$fam" service-smoke-metrics.txt || { echo "service-smoke: /metrics missing $$fam"; cat service-smoke-metrics.txt; exit 1; }; \
+	done; \
+	kill -TERM $$pid; wait $$pid || { echo "service-smoke: drain exited non-zero"; exit 1; }; \
+	trap - EXIT; \
+	echo "service-smoke: submit, result, cache hit, metrics, drain all OK"

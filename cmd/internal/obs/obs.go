@@ -8,6 +8,7 @@ import (
 	"net/http"
 	_ "net/http/pprof" // -pprof serves the default mux
 	"os"
+	"strings"
 	"sync"
 
 	"tpilayout"
@@ -52,6 +53,34 @@ func metricsSink() *tpilayout.PromSink {
 	return promSink
 }
 
+// Listener describes one background HTTP server the flags require: the
+// address to bind and the observability surfaces it serves there. Every
+// surface lives on the default mux, so two flags naming the same address
+// share a single listener instead of fighting over the port.
+type Listener struct {
+	Addr     string
+	Surfaces []string // "pprof", "metrics"
+}
+
+// listenPlan resolves the -pprof and -metrics addresses into the
+// distinct listeners to start: a matching pair collapses into one shared
+// listener serving both surfaces, mismatched addresses get one listener
+// each, and empty flags contribute nothing.
+func listenPlan(pprofAddr, metricsAddr string) []Listener {
+	var plan []Listener
+	if pprofAddr != "" {
+		l := Listener{Addr: pprofAddr, Surfaces: []string{"pprof"}}
+		if metricsAddr == pprofAddr {
+			l.Surfaces = append(l.Surfaces, "metrics")
+		}
+		plan = append(plan, l)
+	}
+	if metricsAddr != "" && metricsAddr != pprofAddr {
+		plan = append(plan, Listener{Addr: metricsAddr, Surfaces: []string{"metrics"}})
+	}
+	return plan
+}
+
 // serve starts a best-effort background HTTP server on the default mux:
 // the run proceeds even if the port is taken, it just reports why the
 // surface is unavailable.
@@ -84,17 +113,14 @@ func (f *Flags) Tracer() (tr *tpilayout.Tracer, flush func() error, err error) {
 	}
 	if f.Pprof != "" {
 		sinks = append(sinks, tpilayout.NewExpvarSink("tpilayout"))
-		serve(f.Pprof, "pprof")
 		fmt.Fprintf(os.Stderr, "pprof+expvar on http://%s/debug/pprof and /debug/vars\n", f.Pprof)
 	}
 	if f.Metrics != "" {
 		sinks = append(sinks, metricsSink())
-		// /metrics lives on the default mux, so when -pprof already
-		// listens on the same address one listener serves both surfaces.
-		if f.Metrics != f.Pprof {
-			serve(f.Metrics, "metrics")
-		}
 		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", f.Metrics)
+	}
+	for _, l := range listenPlan(f.Pprof, f.Metrics) {
+		serve(l.Addr, strings.Join(l.Surfaces, "+"))
 	}
 	if len(sinks) == 0 {
 		return nil, flush, nil

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestListenPlan pins the -pprof/-metrics listener-sharing contract:
+// matching addresses collapse into one shared listener, mismatched
+// addresses each get their own, and empty flags start nothing.
+func TestListenPlan(t *testing.T) {
+	cases := []struct {
+		name           string
+		pprof, metrics string
+		want           string // fmt.Sprint of the plan
+	}{
+		{
+			name: "neither flag set",
+			want: "[]",
+		},
+		{
+			name:  "pprof only",
+			pprof: "localhost:6060",
+			want:  "[{localhost:6060 [pprof]}]",
+		},
+		{
+			name:    "metrics only",
+			metrics: "localhost:9090",
+			want:    "[{localhost:9090 [metrics]}]",
+		},
+		{
+			name:    "shared address serves both on one listener",
+			pprof:   "localhost:6060",
+			metrics: "localhost:6060",
+			want:    "[{localhost:6060 [pprof metrics]}]",
+		},
+		{
+			name:    "address mismatch starts two listeners",
+			pprof:   "localhost:6060",
+			metrics: "localhost:9090",
+			want:    "[{localhost:6060 [pprof]} {localhost:9090 [metrics]}]",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := fmt.Sprint(listenPlan(tc.pprof, tc.metrics))
+			if got != tc.want {
+				t.Errorf("listenPlan(%q, %q) = %s, want %s", tc.pprof, tc.metrics, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestListenPlanNoDuplicateAddrs sweeps flag combinations and checks the
+// invariant that makes sharing safe: no address appears in the plan
+// twice, whatever the inputs.
+func TestListenPlanNoDuplicateAddrs(t *testing.T) {
+	addrs := []string{"", "a:1", "b:2"}
+	for _, p := range addrs {
+		for _, m := range addrs {
+			seen := map[string]bool{}
+			for _, l := range listenPlan(p, m) {
+				if l.Addr == "" {
+					t.Errorf("listenPlan(%q, %q) planned an empty address", p, m)
+				}
+				if seen[l.Addr] {
+					t.Errorf("listenPlan(%q, %q) planned %s twice", p, m, l.Addr)
+				}
+				seen[l.Addr] = true
+			}
+		}
+	}
+}
+
+// TestMetricsSinkSingleton: repeated lookups must return the one
+// process-wide PromSink — a second http.Handle("/metrics", ...) would
+// panic, so the singleton is what keeps flag re-parsing safe.
+func TestMetricsSinkSingleton(t *testing.T) {
+	a, b := metricsSink(), metricsSink()
+	if a == nil || a != b {
+		t.Fatalf("metricsSink not a singleton: %p vs %p", a, b)
+	}
+}

@@ -1,0 +1,111 @@
+// Command tpid is the TPI-as-a-service daemon: it serves the paper's
+// complete Figure 2 flow over HTTP, turning the batch reproduction into
+// a long-running, multi-tenant service.
+//
+// Usage:
+//
+//	tpid -addr :8080 -workers 4 -queue-depth 128 -cache-bytes 67108864
+//
+// API (all JSON):
+//
+//	POST   /v1/jobs             submit a sweep: {"circuit":{...},"tp_levels":[0,1,2],"flow":{...}}
+//	GET    /v1/jobs/{id}        job status
+//	GET    /v1/jobs/{id}/events live NDJSON span events over SSE
+//	GET    /v1/jobs/{id}/result Tables 1–3 rows + rendered tables
+//	DELETE /v1/jobs/{id}        cancel (mid-run cancellation lands within one work unit)
+//	GET    /v1/stats            queue depth, cache hit/miss, jobs by terminal state
+//	GET    /healthz             200 while accepting, 503 while draining
+//	GET    /metrics             Prometheus text exposition (flow + service families)
+//	GET    /debug/pprof/        net/http/pprof
+//
+// Submissions are queued with per-tenant round-robin fairness and
+// bounded depth (429 when full). Identical submissions are coalesced
+// onto one running flow and finished results are served from a
+// content-addressed cache, so a million identical requests cost one
+// layout. SIGTERM/SIGINT drains: running jobs get -drain-timeout to
+// finish, new submissions are rejected with 503, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tpilayout/internal/service"
+	"tpilayout/internal/telemetry"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tpid: ")
+	addr := flag.String("addr", "localhost:8080", "listen address for the API (also serves /metrics and /debug/pprof)")
+	workers := flag.Int("workers", 0, "worker-pool size: concurrent flows (0 = GOMAXPROCS/2)")
+	flowWorkers := flag.Int("flow-workers", 1, "default per-flow parallelism for jobs that do not set flow.workers")
+	queueDepth := flag.Int("queue-depth", 64, "maximum queued jobs across all tenants before 429")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "result-cache byte budget (content-addressed LRU)")
+	maxBody := flag.Int64("max-body", 8<<20, "maximum submission body size in bytes")
+	retainJobs := flag.Int("retain-jobs", 512, "terminal jobs kept queryable before the oldest are forgotten")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM lets running jobs finish before canceling them")
+	flag.Parse()
+
+	prom := telemetry.NewPromSink("tpid")
+	srv := service.New(service.Options{
+		Workers:      *workers,
+		FlowWorkers:  *flowWorkers,
+		QueueDepth:   *queueDepth,
+		CacheBytes:   *cacheBytes,
+		MaxBodyBytes: *maxBody,
+		RetainJobs:   *retainJobs,
+		Metrics:      prom,
+	})
+
+	// One listener serves everything: the job API, the Prometheus
+	// exposition, and the profiler.
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", srv)
+	mux.Handle("/healthz", srv)
+	mux.Handle("/metrics", prom)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("serving on http://%s (API /v1, /metrics, /debug/pprof)", *addr)
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("signal received, draining for up to %v", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("drain: %v", err)
+	} else if errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("drain timeout: running jobs were canceled")
+	}
+	// The job engine is drained; now close the listener.
+	closeCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := httpSrv.Shutdown(closeCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	log.Printf("bye")
+}

@@ -15,6 +15,7 @@ package circuitgen
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"tpilayout/internal/netlist"
 	"tpilayout/internal/stdcell"
@@ -84,6 +85,21 @@ func (s Spec) Scale(f float64) Spec {
 		out.CarryChains = 1
 	}
 	return out
+}
+
+// SpecByName resolves the experiment circuits by their paper names.
+// Matching is case-insensitive and ignores surrounding whitespace, so
+// "S38417 " resolves like "s38417".
+func SpecByName(name string) (Spec, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "s38417", "s38417c":
+		return S38417Class(), nil
+	case "circuit1", "wctrl1", "wireless":
+		return WirelessCtrlClass(), nil
+	case "p26909", "p26909c", "dsp":
+		return DSPCoreClass(), nil
+	}
+	return Spec{}, fmt.Errorf("tpilayout: unknown circuit %q (want s38417, s38417c, circuit1, wctrl1, wireless, p26909, p26909c, or dsp)", name)
 }
 
 // S38417Class is the profile of ISCAS'89 s38417 as reported in the paper:

@@ -1,0 +1,290 @@
+// Package service turns the Figure 2 reproduction into a long-running
+// TPI-as-a-service daemon: an HTTP/JSON API over a bounded job queue
+// with per-tenant round-robin fairness, a shared worker pool running
+// supervised sweeps with per-job cancellation, live NDJSON span events
+// re-emitted over SSE, and a content-addressed result cache (SHA-256 of
+// the canonicalized circuit + flow config) with singleflight coalescing
+// so concurrent identical submissions cost exactly one flow.
+package service
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"tpilayout/internal/circuitgen"
+	"tpilayout/internal/flow"
+	"tpilayout/internal/netlist"
+	"tpilayout/internal/stdcell"
+)
+
+// Submission limits. They bound what one request can make the daemon do,
+// independent of the HTTP body-size cap.
+const (
+	maxTPLevels   = 16
+	maxTenantLen  = 64
+	maxNameLen    = 128
+	maxSpecScale  = 2.0
+	maxFlowWorker = 64
+)
+
+// CircuitSpec names the circuit of a job: either an inline ISCAS-style
+// ".bench" netlist, or one of the paper's generated circuit profiles.
+type CircuitSpec struct {
+	// Bench is the circuit itself in ".bench" form (see cmd/benchgen for
+	// producing one). Mutually exclusive with Spec.
+	Bench string `json:"bench,omitempty"`
+	// Name names a Bench-submitted circuit (default "bench").
+	Name string `json:"name,omitempty"`
+	// PeriodPS is the default clock period for Bench circuits whose DFF
+	// lines carry no domain comment (default 10000 ps).
+	PeriodPS float64 `json:"period_ps,omitempty"`
+
+	// Spec selects a generated paper circuit (s38417c, wctrl1, p26909c,
+	// and their aliases). Mutually exclusive with Bench.
+	Spec string `json:"spec,omitempty"`
+	// Scale shrinks or grows a Spec circuit (default 1.0 = paper size).
+	Scale float64 `json:"scale,omitempty"`
+}
+
+// FlowConfig is the JSON-facing subset of flow.Config a job may set.
+// Fields left zero inherit the Experiment preset (or the default preset:
+// chains of at most 100 flops, 97% row utilization).
+type FlowConfig struct {
+	// Experiment selects a per-circuit preset by paper name ("s38417c",
+	// "p26909c", ...), exactly like flow.ExperimentConfig.
+	Experiment        string  `json:"experiment,omitempty"`
+	MaxChains         int     `json:"max_chains,omitempty"`
+	MaxChainLength    int     `json:"max_chain_length,omitempty"`
+	TargetUtilization float64 `json:"target_utilization,omitempty"`
+	SkipATPG          bool    `json:"skip_atpg,omitempty"`
+	TimingOptRounds   int     `json:"timing_opt_rounds,omitempty"`
+	// Workers bounds the per-flow parallelism (0 = the server's default).
+	// Results are bit-identical for every value, so Workers is excluded
+	// from the cache key.
+	Workers int `json:"workers,omitempty"`
+	// ATPGBudgetMS bounds the ATPG effort per level; an expiring budget
+	// truncates the run instead of failing it. Budgeted results depend on
+	// wall-clock speed, so a job with a budget is never cached and never
+	// coalesced with other submissions.
+	ATPGBudgetMS int64 `json:"atpg_budget_ms,omitempty"`
+}
+
+// JobRequest is the POST /v1/jobs body: one circuit, one flow config,
+// and the TP percentages to sweep.
+type JobRequest struct {
+	// Tenant buckets the job for queue fairness; jobs of different
+	// tenants are dequeued round-robin, so one flooding tenant cannot
+	// starve the others. Default "default".
+	Tenant   string      `json:"tenant,omitempty"`
+	Circuit  CircuitSpec `json:"circuit"`
+	TPLevels []float64   `json:"tp_levels"`
+	Flow     FlowConfig  `json:"flow"`
+}
+
+// compiled is a validated, executable form of a JobRequest: the parsed
+// design, the resolved flow.Config, and the content-addressed cache key.
+type compiled struct {
+	tenant    string
+	design    *netlist.Netlist
+	cfg       flow.Config
+	levels    []float64
+	key       string
+	cacheable bool
+	workers   int // requested per-flow workers (0 = server default)
+}
+
+// requestError is a client-side problem with a submission (HTTP 4xx).
+type requestError struct{ msg string }
+
+func (e *requestError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &requestError{msg: fmt.Sprintf(format, args...)}
+}
+
+// compileRequest validates req end to end and resolves it into an
+// executable job: the circuit is parsed (or generated), the flow config
+// preset is applied and validated, and the cache key is derived from the
+// canonicalized circuit text plus the resolved config — so two requests
+// that mean the same sweep hash identically regardless of field spelling,
+// bench formatting, or worker count.
+func compileRequest(req *JobRequest) (*compiled, error) {
+	c := &compiled{tenant: strings.TrimSpace(req.Tenant)}
+	if c.tenant == "" {
+		c.tenant = "default"
+	}
+	if len(c.tenant) > maxTenantLen {
+		return nil, badRequest("tenant name longer than %d bytes", maxTenantLen)
+	}
+
+	if len(req.TPLevels) == 0 {
+		return nil, badRequest("tp_levels is empty (list the test-point percentages to sweep, e.g. [0,1,2])")
+	}
+	if len(req.TPLevels) > maxTPLevels {
+		return nil, badRequest("tp_levels has %d entries, limit %d", len(req.TPLevels), maxTPLevels)
+	}
+	for _, tp := range req.TPLevels {
+		if tp < 0 || tp > 100 {
+			return nil, badRequest("tp_levels entry %g outside [0,100]", tp)
+		}
+	}
+	c.levels = append([]float64(nil), req.TPLevels...)
+
+	design, preset, err := buildDesign(&req.Circuit)
+	if err != nil {
+		return nil, err
+	}
+	c.design = design
+
+	fc := req.Flow
+	if fc.Experiment != "" {
+		preset = fc.Experiment
+	}
+	cfg := flow.ExperimentConfig(preset)
+	if fc.MaxChains > 0 || fc.MaxChainLength > 0 {
+		cfg.Scan.MaxChains = fc.MaxChains
+		cfg.Scan.MaxChainLength = fc.MaxChainLength
+	}
+	if fc.TargetUtilization != 0 {
+		cfg.Place.TargetUtilization = fc.TargetUtilization
+	}
+	cfg.SkipATPG = fc.SkipATPG
+	cfg.TimingOptRounds = fc.TimingOptRounds
+	if fc.Workers < 0 || fc.Workers > maxFlowWorker {
+		return nil, badRequest("flow.workers %d outside [0,%d]", fc.Workers, maxFlowWorker)
+	}
+	if fc.ATPGBudgetMS < 0 {
+		return nil, badRequest("flow.atpg_budget_ms negative")
+	}
+	c.workers = fc.Workers
+	c.cfg = cfg
+	// Validate at the level the flow itself will: TPPercent is checked
+	// per level above, so probe with the first level filled in.
+	probe := cfg
+	probe.TPPercent = c.levels[0]
+	if err := probe.Validate(); err != nil {
+		return nil, badRequest("%v", err)
+	}
+
+	key, err := canonicalKey(design, &cfg, c.levels, fc.ATPGBudgetMS)
+	if err != nil {
+		return nil, fmt.Errorf("service: hashing request: %w", err)
+	}
+	c.key = key
+	c.cacheable = fc.ATPGBudgetMS == 0
+	return c, nil
+}
+
+// buildDesign parses or generates the request's circuit, returning the
+// design plus the preset name its config should default to.
+func buildDesign(cs *CircuitSpec) (*netlist.Netlist, string, error) {
+	lib := stdcell.Default()
+	switch {
+	case cs.Bench != "" && cs.Spec != "":
+		return nil, "", badRequest("circuit: set either bench or spec, not both")
+	case cs.Bench != "":
+		name := strings.TrimSpace(cs.Name)
+		if name == "" {
+			name = "bench"
+		}
+		if len(name) > maxNameLen {
+			return nil, "", badRequest("circuit.name longer than %d bytes", maxNameLen)
+		}
+		period := cs.PeriodPS
+		if period == 0 {
+			period = 10000
+		}
+		if period < 0 {
+			return nil, "", badRequest("circuit.period_ps negative")
+		}
+		n, err := circuitgen.ReadBench(strings.NewReader(cs.Bench), name, lib, period)
+		if err != nil {
+			return nil, "", badRequest("circuit.bench: %v", err)
+		}
+		return n, "bench", nil
+	case cs.Spec != "":
+		spec, err := circuitgen.SpecByName(cs.Spec)
+		if err != nil {
+			return nil, "", badRequest("circuit.spec: %v", err)
+		}
+		scale := cs.Scale
+		if scale == 0 {
+			scale = 1
+		}
+		if scale < 0 || scale > maxSpecScale {
+			return nil, "", badRequest("circuit.scale %g outside (0,%g]", scale, maxSpecScale)
+		}
+		if scale != 1 {
+			spec = spec.Scale(scale)
+		}
+		n, err := circuitgen.Generate(spec, lib)
+		if err != nil {
+			return nil, "", fmt.Errorf("service: generating %s: %w", spec.Name, err)
+		}
+		return n, spec.Name, nil
+	default:
+		return nil, "", badRequest("circuit: one of bench or spec is required")
+	}
+}
+
+// hashedConfig is the canonical form of everything that can change a
+// job's result. Workers and tenant are deliberately absent: results are
+// bit-identical for every worker count, and a tenant label must not
+// split the cache.
+type hashedConfig struct {
+	MaxChains         int     `json:"max_chains"`
+	MaxChainLength    int     `json:"max_chain_length"`
+	SEFanoutLimit     int     `json:"se_fanout_limit"`
+	TargetUtilization float64 `json:"target_utilization"`
+	SkipATPG          bool    `json:"skip_atpg"`
+	TimingOptRounds   int     `json:"timing_opt_rounds"`
+	ATPGBudgetMS      int64   `json:"atpg_budget_ms"`
+	TPLevels          []float64
+}
+
+// canonicalKey derives the content address of a request: SHA-256 over
+// the canonical ".bench" text of the parsed design (WriteBench is a
+// fixed point of ReadBench∘WriteBench, so formatting differences in the
+// submitted text vanish) plus the resolved config and level list. Two
+// requests with equal keys are guaranteed to produce byte-identical
+// tables, which is what makes the result cache and singleflight sound.
+func canonicalKey(design *netlist.Netlist, cfg *flow.Config, levels []float64, budgetMS int64) (string, error) {
+	var bench bytes.Buffer
+	if err := circuitgen.WriteBench(&bench, design); err != nil {
+		return "", err
+	}
+	hc := hashedConfig{
+		MaxChains:         cfg.Scan.MaxChains,
+		MaxChainLength:    cfg.Scan.MaxChainLength,
+		SEFanoutLimit:     cfg.Scan.SEFanoutLimit,
+		TargetUtilization: cfg.Place.TargetUtilization,
+		SkipATPG:          cfg.SkipATPG,
+		TimingOptRounds:   cfg.TimingOptRounds,
+		ATPGBudgetMS:      budgetMS,
+		TPLevels:          levels,
+	}
+	cfgJSON, err := json.Marshal(hc)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write([]byte("tpid/v1/circuit\n"))
+	h.Write(bench.Bytes())
+	h.Write([]byte("\x00tpid/v1/config\n"))
+	h.Write(cfgJSON)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// atpgDeadline converts a request's relative budget into the absolute
+// flow deadline, at the moment the flow actually starts.
+func atpgDeadline(budgetMS int64, now time.Time) time.Time {
+	if budgetMS <= 0 {
+		return time.Time{}
+	}
+	return now.Add(time.Duration(budgetMS) * time.Millisecond)
+}

@@ -1,0 +1,888 @@
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tpilayout/internal/flow"
+	"tpilayout/internal/netlist"
+	"tpilayout/internal/telemetry"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// run is one flow execution: the unit the queue holds and a worker
+// executes. Several jobs may be attached to one run (singleflight:
+// concurrent identical submissions coalesce), and a run outlives a
+// cancelled job as long as any other job still wants its result.
+type run struct {
+	key       string
+	cacheable bool
+	tenant    string // queue bucket: the first submitter's tenant
+	designN   *netlist.Netlist
+	cfg       flow.Config
+	levels    []float64
+	workers   int
+	budgetMS  int64
+	events    *broadcaster
+	ctx       context.Context
+	cancel    context.CancelFunc
+
+	enqueued time.Time
+
+	// All below guarded by Server.mu. An empty jobs list means nobody
+	// wants the result anymore and the run may be dropped/cancelled.
+	jobs           []*Job
+	startedRunning bool
+	done           bool
+}
+
+// Job is one client-visible submission.
+type Job struct {
+	ID      string
+	Tenant  string
+	Key     string
+	Levels  []float64
+	Circuit string
+
+	// All below guarded by Server.mu.
+	state    State
+	cacheHit bool
+	coalesce bool // attached to an already-inflight run
+	run      *run // nil once terminal via cache hit
+	errMsg   string
+	result   *JobResult
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// LevelStatus is the per-level outcome inside a JobResult.
+type LevelStatus struct {
+	TPPercent float64 `json:"tp_percent"`
+	OK        bool    `json:"ok"`
+	Truncated bool    `json:"truncated,omitempty"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// JobResult is the Tables 1–3 payload of a finished job.
+type JobResult struct {
+	Circuit  string         `json:"circuit"`
+	TPLevels []float64      `json:"tp_levels"`
+	Rows     []flow.Metrics `json:"rows"`
+	Levels   []LevelStatus  `json:"levels"`
+	Table1   string         `json:"table1"`
+	Table2   string         `json:"table2"`
+	Table3   string         `json:"table3"`
+	// Complete is true when every requested level produced a row.
+	Complete  bool  `json:"complete"`
+	ElapsedMS int64 `json:"elapsed_ms"`
+	// CacheHit is personalized per job at response time.
+	CacheHit bool `json:"cache_hit"`
+}
+
+// JobStatus is the GET /v1/jobs/{id} body (and the submission response).
+type JobStatus struct {
+	ID       string    `json:"id"`
+	Tenant   string    `json:"tenant"`
+	State    State     `json:"state"`
+	Key      string    `json:"key"`
+	Circuit  string    `json:"circuit"`
+	TPLevels []float64 `json:"tp_levels"`
+	CacheHit bool      `json:"cache_hit,omitempty"`
+	// Coalesced reports that this submission attached to an already
+	// in-flight identical run instead of starting its own flow.
+	Coalesced  bool   `json:"coalesced,omitempty"`
+	Error      string `json:"error,omitempty"`
+	CreatedAt  string `json:"created_at"`
+	StartedAt  string `json:"started_at,omitempty"`
+	FinishedAt string `json:"finished_at,omitempty"`
+}
+
+// Stats is the live operational counter set (GET /v1/stats and the
+// service-level /metrics families).
+type Stats struct {
+	QueueDepth   int   `json:"queue_depth"`
+	Running      int   `json:"running"`
+	FlowRuns     int64 `json:"flow_runs"`
+	JobsDone     int64 `json:"jobs_done"`
+	JobsFailed   int64 `json:"jobs_failed"`
+	JobsCanceled int64 `json:"jobs_canceled"`
+	Rejected     int64 `json:"rejected_429"`
+	CacheEntries int   `json:"cache_entries"`
+	CacheBytes   int64 `json:"cache_bytes"`
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	Draining     bool  `json:"draining"`
+}
+
+// Options configures a Server.
+type Options struct {
+	// Workers is the worker-pool size: how many flows run concurrently
+	// (default GOMAXPROCS/2, min 1). Each flow additionally parallelizes
+	// internally up to FlowWorkers.
+	Workers int
+	// QueueDepth bounds the number of queued (not yet running) jobs
+	// across all tenants; a full queue answers 429 (default 64).
+	QueueDepth int
+	// CacheBytes is the result cache budget (default 64 MiB).
+	CacheBytes int64
+	// FlowWorkers is the per-flow parallelism given to jobs that do not
+	// set flow.workers themselves (default 1: with a busy pool, flows
+	// beat each other; raise it for low-traffic latency).
+	FlowWorkers int
+	// MaxBodyBytes caps a submission body (default 8 MiB).
+	MaxBodyBytes int64
+	// RetainJobs bounds how many terminal jobs stay queryable before the
+	// oldest are forgotten (default 512).
+	RetainJobs int
+	// Metrics, when non-nil, receives both the flow telemetry of every
+	// job and the service-level families (queue depth, queue wait,
+	// cache hits, jobs by terminal state) — mount it on /metrics.
+	Metrics *telemetry.PromSink
+	// ExtraSinks are attached to every job's tracer (tests).
+	ExtraSinks []telemetry.Sink
+	// Flush, when non-nil, is called at the end of Shutdown so the
+	// daemon can flush file-backed telemetry sinks before exit.
+	Flush func() error
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Workers <= 0 {
+		out.Workers = max(1, runtime.GOMAXPROCS(0)/2)
+	}
+	if out.QueueDepth <= 0 {
+		out.QueueDepth = 64
+	}
+	if out.CacheBytes <= 0 {
+		out.CacheBytes = 64 << 20
+	}
+	if out.FlowWorkers <= 0 {
+		out.FlowWorkers = 1
+	}
+	if out.MaxBodyBytes <= 0 {
+		out.MaxBodyBytes = 8 << 20
+	}
+	if out.RetainJobs <= 0 {
+		out.RetainJobs = 512
+	}
+	return out
+}
+
+// Server is the TPI-as-a-service daemon: an http.Handler exposing the
+// /v1 job API, backed by a bounded fair queue, a shared worker pool,
+// and the content-addressed result cache.
+type Server struct {
+	opt   Options
+	mux   *http.ServeMux
+	queue *fairQueue
+	cache *resultCache
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string        // terminal-job retention FIFO
+	inflight map[string]*run // singleflight: key → live cacheable run
+	active   map[*run]bool   // every live run (queued or running)
+
+	draining  atomic.Bool
+	workersWG sync.WaitGroup
+	jobSeq    atomic.Int64
+	flowRuns  atomic.Int64
+	running   atomic.Int64
+
+	jobsDone     atomic.Int64
+	jobsFailed   atomic.Int64
+	jobsCanceled atomic.Int64
+	rejected     atomic.Int64
+
+	// runFlow executes one run and returns its result; tests replace it
+	// with a stub to exercise queueing/fairness/shutdown without paying
+	// for real layouts.
+	runFlow func(r *run) (*JobResult, error)
+
+	shutdownCh chan struct{}
+	shutdownMu sync.Mutex
+}
+
+// New starts a Server and its worker pool. Call Shutdown to stop it.
+func New(opt Options) *Server {
+	s := &Server{
+		opt:        opt.withDefaults(),
+		jobs:       map[string]*Job{},
+		inflight:   map[string]*run{},
+		active:     map[*run]bool{},
+		shutdownCh: make(chan struct{}),
+	}
+	s.queue = newFairQueue(s.opt.QueueDepth)
+	s.cache = newResultCache(s.opt.CacheBytes)
+	s.runFlow = s.sweepRun
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+
+	s.workersWG.Add(s.opt.Workers)
+	for i := 0; i < s.opt.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// FlowRuns reports how many flows have actually been executed — the
+// observable proof that cache hits and coalesced submissions cost zero
+// additional flows.
+func (s *Server) FlowRuns() int64 { return s.flowRuns.Load() }
+
+// Stats snapshots the operational counters.
+func (s *Server) Stats() Stats {
+	entries, bytes, hits, misses := s.cache.Stats()
+	return Stats{
+		QueueDepth:   s.queue.Len(),
+		Running:      int(s.running.Load()),
+		FlowRuns:     s.flowRuns.Load(),
+		JobsDone:     s.jobsDone.Load(),
+		JobsFailed:   s.jobsFailed.Load(),
+		JobsCanceled: s.jobsCanceled.Load(),
+		Rejected:     s.rejected.Load(),
+		CacheEntries: entries,
+		CacheBytes:   bytes,
+		CacheHits:    hits,
+		CacheMisses:  misses,
+		Draining:     s.draining.Load(),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Submission
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining, not accepting jobs")
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.opt.MaxBodyBytes)
+	var req JobRequest
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", s.opt.MaxBodyBytes)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "decoding job request: %v", err)
+		return
+	}
+	comp, err := compileRequest(&req)
+	if err != nil {
+		var reqErr *requestError
+		if errors.As(err, &reqErr) {
+			writeError(w, http.StatusBadRequest, "%v", err)
+		} else {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+
+	job := &Job{
+		ID:      s.newJobID(),
+		Tenant:  comp.tenant,
+		Key:     comp.key,
+		Levels:  comp.levels,
+		Circuit: comp.design.Name,
+		created: time.Now(),
+	}
+
+	// Content-addressed fast path: an identical finished sweep serves
+	// from the cache without touching the queue.
+	if comp.cacheable {
+		if res, ok := s.cache.Get(comp.key); ok {
+			s.mu.Lock()
+			job.state = StateDone
+			job.cacheHit = true
+			job.result = res
+			job.started = job.created
+			job.finished = time.Now()
+			s.rememberJobLocked(job)
+			s.mu.Unlock()
+			s.jobsDone.Add(1)
+			s.emitMetric(map[string]int64{"service.jobs_done": 1, "service.cache_hit_jobs": 1}, nil, nil)
+			s.writeStatus(w, http.StatusOK, job)
+			return
+		}
+	}
+
+	s.mu.Lock()
+	if comp.cacheable {
+		// Singleflight: an identical run already queued or running absorbs
+		// this submission — one flow, many results.
+		if live, ok := s.inflight[comp.key]; ok {
+			job.run = live
+			job.coalesce = true
+			job.state = s.runStateLocked(live)
+			live.jobs = append(live.jobs, job)
+			s.rememberJobLocked(job)
+			s.mu.Unlock()
+			s.emitMetric(map[string]int64{"service.coalesced_jobs": 1}, nil, nil)
+			s.writeStatus(w, http.StatusAccepted, job)
+			return
+		}
+		// Re-check the cache under the lock: finishRun publishes to the
+		// cache before it retires the inflight entry, so a run that ended
+		// between the first cache probe and here is guaranteed visible on
+		// one of the two paths — an identical submission never pays for a
+		// second flow.
+		if res, ok := s.cache.Get(comp.key); ok {
+			job.state = StateDone
+			job.cacheHit = true
+			job.result = res
+			job.started = job.created
+			job.finished = time.Now()
+			s.rememberJobLocked(job)
+			s.mu.Unlock()
+			s.jobsDone.Add(1)
+			s.emitMetric(map[string]int64{"service.jobs_done": 1, "service.cache_hit_jobs": 1}, nil, nil)
+			s.writeStatus(w, http.StatusOK, job)
+			return
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	rn := &run{
+		key:       comp.key,
+		cacheable: comp.cacheable,
+		tenant:    comp.tenant,
+		cfg:       comp.cfg,
+		levels:    comp.levels,
+		workers:   comp.workers,
+		budgetMS:  req.Flow.ATPGBudgetMS,
+		events:    newBroadcaster(),
+		ctx:       ctx,
+		cancel:    cancel,
+		enqueued:  time.Now(),
+		jobs:      []*Job{job},
+	}
+	rn.designN = comp.design
+	job.run = rn
+	job.state = StateQueued
+
+	if err := s.queue.Push(rn); err != nil {
+		s.mu.Unlock()
+		cancel()
+		if errors.Is(err, ErrQueueFull) {
+			s.rejected.Add(1)
+			s.emitMetric(map[string]int64{"service.rejected_429": 1}, nil, nil)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "job queue full (%d queued), retry later", s.opt.QueueDepth)
+		} else {
+			writeError(w, http.StatusServiceUnavailable, "server is draining, not accepting jobs")
+		}
+		return
+	}
+	if comp.cacheable {
+		s.inflight[comp.key] = rn
+	}
+	s.active[rn] = true
+	s.rememberJobLocked(job)
+	depth := s.queue.Len()
+	s.mu.Unlock()
+
+	s.emitMetric(map[string]int64{"service.jobs_submitted": 1},
+		map[string]float64{"service.queue_depth": float64(depth)}, nil)
+	s.writeStatus(w, http.StatusAccepted, job)
+}
+
+func (s *Server) newJobID() string {
+	var b [6]byte
+	rand.Read(b[:])
+	return fmt.Sprintf("j%06d-%s", s.jobSeq.Add(1), hex.EncodeToString(b[:]))
+}
+
+// rememberJobLocked indexes the job and enforces terminal retention.
+func (s *Server) rememberJobLocked(job *Job) {
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	// Evict the oldest terminal jobs beyond the retention window; live
+	// jobs are always kept.
+	for len(s.order) > s.opt.RetainJobs {
+		victimID := s.order[0]
+		victim := s.jobs[victimID]
+		if victim != nil && !victim.state.terminal() {
+			break // oldest job still live; retention resumes once it ends
+		}
+		s.order = s.order[1:]
+		delete(s.jobs, victimID)
+	}
+}
+
+func (s *Server) runStateLocked(r *run) State {
+	if r.startedRunning {
+		return StateRunning
+	}
+	return StateQueued
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool
+
+func (s *Server) worker() {
+	defer s.workersWG.Done()
+	for {
+		rn, ok := s.queue.Pop()
+		if !ok {
+			return
+		}
+		s.execute(rn)
+	}
+}
+
+// execute runs one dequeued run to its terminal state.
+func (s *Server) execute(rn *run) {
+	now := time.Now()
+	s.mu.Lock()
+	if len(rn.jobs) == 0 {
+		// Every submitter cancelled while the run was queued; nothing to
+		// do. finalizeRunLocked already ran from the cancel path.
+		s.mu.Unlock()
+		return
+	}
+	rn.startedRunning = true
+	for _, j := range rn.jobs {
+		j.state = StateRunning
+		j.started = now
+	}
+	s.mu.Unlock()
+
+	wait := now.Sub(rn.enqueued)
+	s.running.Add(1)
+	s.flowRuns.Add(1)
+	s.emitMetric(
+		map[string]int64{"service.flow_runs": 1},
+		map[string]float64{
+			"service.queue_depth": float64(s.queue.Len()),
+			"service.running":     float64(s.running.Load()),
+		},
+		map[string]telemetry.HistData{"service.queue_wait_ns": telemetry.Observation(int64(wait))},
+	)
+
+	res, err := s.runFlow(rn)
+	s.running.Add(-1)
+	s.finishRun(rn, res, err)
+}
+
+// sweepRun is the production runFlow: the supervised partial sweep with
+// the run's broadcaster (SSE) and the server's /metrics sink attached.
+func (s *Server) sweepRun(rn *run) (*JobResult, error) {
+	sinks := []telemetry.Sink{rn.events}
+	if s.opt.Metrics != nil {
+		sinks = append(sinks, s.opt.Metrics)
+	}
+	sinks = append(sinks, s.opt.ExtraSinks...)
+
+	cfg := rn.cfg
+	cfg.Telemetry = telemetry.New(sinks...)
+	cfg.Workers = rn.workers
+	if cfg.Workers == 0 {
+		cfg.Workers = s.opt.FlowWorkers
+	}
+	cfg.Deadline = atpgDeadline(rn.budgetMS, time.Now())
+
+	start := time.Now()
+	levels, err := flow.SweepPartial(rn.ctx, rn.designN, cfg, rn.levels)
+	if err != nil {
+		return nil, err
+	}
+	if cerr := rn.ctx.Err(); cerr != nil {
+		return nil, cerr
+	}
+
+	res := &JobResult{
+		Circuit:   rn.designN.Name,
+		TPLevels:  rn.levels,
+		ElapsedMS: time.Since(start).Milliseconds(),
+		Complete:  true,
+	}
+	for _, lr := range levels {
+		ls := LevelStatus{TPPercent: lr.TPPercent}
+		if lr.Err != nil {
+			ls.Error = lr.Err.Error()
+			res.Complete = false
+		} else {
+			ls.OK = true
+			ls.Truncated = lr.Metrics.Truncated
+		}
+		res.Levels = append(res.Levels, ls)
+	}
+	res.Rows = flow.CompletedMetrics(levels)
+	if len(res.Rows) > 0 {
+		res.Table1 = flow.FormatTable1(res.Rows)
+		res.Table2 = flow.FormatTable2(res.Rows)
+		res.Table3 = flow.FormatTable3(res.Rows)
+	}
+	return res, nil
+}
+
+// finishRun delivers a finished run to every attached job, feeds the
+// cache, and tears the run down.
+func (s *Server) finishRun(rn *run, res *JobResult, err error) {
+	canceled := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || (err == nil && rn.ctx.Err() != nil)
+
+	// Cache only complete, successful, deterministic results: a partial
+	// sweep (one level panicked or timed out) must be retried, not
+	// replayed forever from the cache.
+	if err == nil && !canceled && rn.cacheable && res != nil && res.Complete {
+		s.cache.Put(rn.key, res)
+	}
+
+	now := time.Now()
+	s.mu.Lock()
+	rn.done = true
+	delete(s.inflight, rn.key)
+	delete(s.active, rn)
+	jobs := rn.jobs
+	rn.jobs = nil
+	var done, failed, cancl int64
+	for _, j := range jobs {
+		j.finished = now
+		switch {
+		case canceled:
+			j.state = StateCanceled
+			j.errMsg = "run canceled"
+		case err != nil:
+			j.state = StateFailed
+			j.errMsg = err.Error()
+		default:
+			j.state = StateDone
+			j.result = res
+		}
+		switch j.state {
+		case StateDone:
+			done++
+		case StateFailed:
+			failed++
+		case StateCanceled:
+			cancl++
+		}
+	}
+	s.mu.Unlock()
+
+	s.jobsDone.Add(done)
+	s.jobsFailed.Add(failed)
+	s.jobsCanceled.Add(cancl)
+	rn.cancel() // release the context's resources
+	rn.events.Close()
+	s.emitMetric(map[string]int64{
+		"service.jobs_done":     done,
+		"service.jobs_failed":   failed,
+		"service.jobs_canceled": cancl,
+	}, map[string]float64{
+		"service.queue_depth": float64(s.queue.Len()),
+		"service.running":     float64(s.running.Load()),
+	}, nil)
+}
+
+// ---------------------------------------------------------------------------
+// Status / result / cancel
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *Job {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	job := s.jobs[id]
+	s.mu.Unlock()
+	if job == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return nil
+	}
+	return job
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if job := s.lookup(w, r); job != nil {
+		s.writeStatus(w, http.StatusOK, job)
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	job := s.lookup(w, r)
+	if job == nil {
+		return
+	}
+	s.mu.Lock()
+	state, errMsg, cacheHit, res := job.state, job.errMsg, job.cacheHit, job.result
+	s.mu.Unlock()
+	switch state {
+	case StateDone:
+		// Personalize the shared (possibly cached) result without
+		// mutating it.
+		out := *res
+		out.CacheHit = cacheHit
+		writeJSON(w, http.StatusOK, &out)
+	case StateFailed:
+		writeError(w, http.StatusInternalServerError, "job failed: %s", errMsg)
+	case StateCanceled:
+		writeError(w, http.StatusGone, "job was canceled")
+	default:
+		writeError(w, http.StatusConflict, "job is %s; result not ready", state)
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job := s.lookup(w, r)
+	if job == nil {
+		return
+	}
+	s.mu.Lock()
+	if job.state.terminal() {
+		s.mu.Unlock()
+		s.writeStatus(w, http.StatusOK, job) // idempotent
+		return
+	}
+	job.state = StateCanceled
+	job.errMsg = "canceled by client"
+	job.finished = time.Now()
+	rn := job.run
+	var lastWaiter bool
+	if rn != nil {
+		for i, j := range rn.jobs {
+			if j == job {
+				rn.jobs = append(rn.jobs[:i:i], rn.jobs[i+1:]...)
+				break
+			}
+		}
+		lastWaiter = len(rn.jobs) == 0 && !rn.done
+		if lastWaiter {
+			rn.done = true
+			delete(s.inflight, rn.key)
+			delete(s.active, rn)
+		}
+	}
+	s.mu.Unlock()
+
+	s.jobsCanceled.Add(1)
+	s.emitMetric(map[string]int64{"service.jobs_canceled": 1}, nil, nil)
+	if lastWaiter {
+		// Nobody else wants this run: take it off the queue if still
+		// there, abort the flow if running, close the event stream.
+		s.queue.Remove(rn)
+		rn.cancel()
+		rn.events.Close()
+	}
+	s.writeStatus(w, http.StatusOK, job)
+}
+
+// ---------------------------------------------------------------------------
+// SSE events
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job := s.lookup(w, r)
+	if job == nil {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "response writer does not support streaming")
+		return
+	}
+	s.mu.Lock()
+	rn := job.run
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	if rn != nil {
+		// Stream the retained trace from the beginning, then follow live
+		// until the run closes or the client goes away.
+		stop := context.AfterFunc(r.Context(), rn.events.wake)
+		defer stop()
+		i := 0
+		for {
+			tail, ok := rn.events.next(r.Context(), i)
+			if !ok {
+				break
+			}
+			for _, e := range tail {
+				line, err := json.Marshal(e)
+				if err != nil {
+					continue
+				}
+				if _, err := fmt.Fprintf(w, "data: %s\n\n", line); err != nil {
+					return // client disconnected
+				}
+			}
+			i += len(tail)
+			flusher.Flush()
+		}
+	}
+
+	// Final frame: the job's terminal status (or current state if the
+	// client disconnected first — it is about to stop reading anyway).
+	s.mu.Lock()
+	status := s.statusLocked(job)
+	s.mu.Unlock()
+	if line, err := json.Marshal(status); err == nil {
+		fmt.Fprintf(w, "event: done\ndata: %s\n\n", line)
+		flusher.Flush()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Stats / health
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown
+
+// Shutdown drains the server: new submissions are rejected with 503,
+// still-queued jobs are canceled immediately, and running jobs get
+// until ctx's deadline to finish before their contexts are canceled.
+// It returns ctx.Err() when the drain deadline cut running jobs short,
+// nil when everything drained cleanly. Safe to call once; the worker
+// pool is gone afterwards.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutdownMu.Lock()
+	defer s.shutdownMu.Unlock()
+	select {
+	case <-s.shutdownCh:
+		return nil // already shut down
+	default:
+	}
+	s.draining.Store(true)
+
+	// Cancel everything still queued: drain means "finish what is
+	// running", not "work the whole backlog".
+	for _, rn := range s.queue.Close() {
+		s.finishRun(rn, nil, context.Canceled)
+	}
+
+	workersDone := make(chan struct{})
+	go func() {
+		s.workersWG.Wait()
+		close(workersDone)
+	}()
+
+	var err error
+	select {
+	case <-workersDone:
+	case <-ctx.Done():
+		// Drain deadline: abort the in-flight flows. Cancellation lands
+		// within one work unit, so the workers exit promptly.
+		s.mu.Lock()
+		for rn := range s.active {
+			rn.cancel()
+		}
+		s.mu.Unlock()
+		<-workersDone
+		err = ctx.Err()
+	}
+
+	close(s.shutdownCh)
+	if s.opt.Flush != nil {
+		if ferr := s.opt.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry + JSON helpers
+
+// emitMetric folds service-level families into the /metrics sink as one
+// synthetic span_end under stage="service" — the same pipe the flow's
+// own telemetry rides, so one scrape shows engine and service health
+// side by side.
+func (s *Server) emitMetric(counters map[string]int64, gauges map[string]float64, hists map[string]telemetry.HistData) {
+	if s.opt.Metrics == nil {
+		return
+	}
+	s.opt.Metrics.Emit(telemetry.Event{
+		Type: telemetry.EventSpanEnd, Stage: "service", Time: time.Now(),
+		Counters: counters, Gauges: gauges, Hists: hists,
+	})
+}
+
+func (s *Server) statusLocked(job *Job) JobStatus {
+	st := JobStatus{
+		ID:        job.ID,
+		Tenant:    job.Tenant,
+		State:     job.state,
+		Key:       job.Key,
+		Circuit:   job.Circuit,
+		TPLevels:  job.Levels,
+		CacheHit:  job.cacheHit,
+		Coalesced: job.coalesce,
+		Error:     job.errMsg,
+		CreatedAt: job.created.UTC().Format(time.RFC3339Nano),
+	}
+	if !job.started.IsZero() {
+		st.StartedAt = job.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !job.finished.IsZero() {
+		st.FinishedAt = job.finished.UTC().Format(time.RFC3339Nano)
+	}
+	return st
+}
+
+func (s *Server) writeStatus(w http.ResponseWriter, code int, job *Job) {
+	s.mu.Lock()
+	st := s.statusLocked(job)
+	s.mu.Unlock()
+	writeJSON(w, code, st)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -156,6 +156,13 @@ type HistData struct {
 	Buckets map[int]uint64 `json:"b,omitempty"`
 }
 
+// Observation returns the HistData of one observed value — the unit a
+// caller without a long-lived Histogram (the service layer's per-event
+// queue-wait samples) merges into a sink-side accumulator.
+func Observation(v int64) HistData {
+	return HistData{Count: 1, Sum: v, Buckets: map[int]uint64{histBucketOf(v): 1}}
+}
+
 // Merge adds other into d (index-wise bucket addition).
 func (d *HistData) Merge(other HistData) {
 	d.Count += other.Count

@@ -1,120 +1,28 @@
 package tpilayout
 
-import (
-	"fmt"
-	"strings"
-)
+import "tpilayout/internal/flow"
+
+// The table renderers live in internal/flow next to the Metrics type they
+// consume (the service daemon renders result tables without importing the
+// root package); these wrappers are the supported public API.
 
 // FormatTable1 renders the paper's Table 1 (impact of TPI on test data)
 // from a sweep's metrics rows. The first row is the 0-test-point baseline
 // against which the reduction columns are computed.
-func FormatTable1(rows []Metrics) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "Table 1: Impact of TPI on test data — %s\n", circuitName(rows))
-	fmt.Fprintf(&b, "%5s %6s %7s %5s %8s %6s %6s %9s %7s %11s %7s %10s %7s\n",
-		"#TP", "#FF", "#chains", "lmax", "#faults", "FC%", "FE%",
-		"patterns", "dec.%", "TDV(bits)", "dec.%", "TAT(cyc)", "dec.%")
-	base := rows[0]
-	for _, m := range rows {
-		fmt.Fprintf(&b, "%5d %6d %7d %5d %8d %6.2f %6.2f %9d %7s %11d %7s %10d %7s\n",
-			m.NumTP, m.NumFF, m.Chains, m.LMax, m.Faults, m.FC, m.FE,
-			m.Patterns, dec(float64(base.Patterns), float64(m.Patterns)),
-			m.TDV, dec(float64(base.TDV), float64(m.TDV)),
-			m.TAT, dec(float64(base.TAT), float64(m.TAT)))
-	}
-	return b.String()
-}
+func FormatTable1(rows []Metrics) string { return flow.FormatTable1(rows) }
 
 // FormatTable2 renders the paper's Table 2 (impact of TPI on silicon
 // area).
-func FormatTable2(rows []Metrics) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "Table 2: Impact of TPI on silicon area — %s\n", circuitName(rows))
-	fmt.Fprintf(&b, "%5s %7s %6s %10s %12s %7s %9s %12s %7s %12s\n",
-		"#TP", "#cells", "#rows", "Lrows(um)", "core(um2)", "inc.%",
-		"filler.%", "chip(um2)", "inc.%", "Lwires(um)")
-	base := rows[0]
-	for _, m := range rows {
-		fmt.Fprintf(&b, "%5d %7d %6d %10.0f %12.0f %7s %9.2f %12.0f %7s %12.0f\n",
-			m.NumTP, m.Cells, m.Rows, m.LRows, m.CoreArea,
-			inc(base.CoreArea, m.CoreArea), m.FillerPct,
-			m.ChipArea, inc(base.ChipArea, m.ChipArea), m.LWires)
-	}
-	return b.String()
-}
+func FormatTable2(rows []Metrics) string { return flow.FormatTable2(rows) }
 
 // FormatTable3 renders the paper's Table 3 (impact of TPI on timing),
 // one block per clock domain with the Eq. 3 decomposition.
-func FormatTable3(rows []Metrics) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "Table 3: Impact of TPI on timing — %s\n", circuitName(rows))
-	fmt.Fprintf(&b, "%5s %8s %6s %9s %7s %9s %9s %10s %9s %8s %6s\n",
-		"#TP", "domain", "#TPcp", "Tcp(ps)", "inc.%", "Fmax(MHz)",
-		"Twires", "Tintrinsic", "Tload-dep", "Tsetup", "Tskew")
-	if len(rows) == 0 {
-		return b.String()
-	}
-	for d := range rows[0].Timing {
-		base := rows[0].Timing[d]
-		for _, m := range rows {
-			t := m.Timing[d]
-			fmt.Fprintf(&b, "%5d %8s %6d %9.0f %7s %9.1f %9.0f %10.0f %9.0f %8.0f %6.0f\n",
-				m.NumTP, t.Domain, t.TPOnPath, t.TcpPS,
-				inc(base.TcpPS, t.TcpPS), t.FmaxMHz,
-				t.TWires, t.TIntr, t.TLoadDep, t.TSetup, t.TSkew)
-		}
-	}
-	slow := rows[len(rows)-1].SlowNodes
-	if slow > 0 {
-		fmt.Fprintf(&b, "note: %d slow nodes (extrapolated delays) present and unresolved, as in the paper\n", slow)
-	}
-	return b.String()
-}
+func FormatTable3(rows []Metrics) string { return flow.FormatTable3(rows) }
 
 // CompletedMetrics extracts the successful rows of a partial sweep, in
 // level order — the rows the Format functions can render.
-func CompletedMetrics(levels []LevelResult) []Metrics {
-	var rows []Metrics
-	for _, lr := range levels {
-		if lr.Err == nil {
-			rows = append(rows, lr.Metrics)
-		}
-	}
-	return rows
-}
+func CompletedMetrics(levels []LevelResult) []Metrics { return flow.CompletedMetrics(levels) }
 
 // FormatSweepFailures renders the failed rows of a partial sweep, one
 // clearly-marked line per failed level ("" when every level completed).
-func FormatSweepFailures(levels []LevelResult) string {
-	var b strings.Builder
-	for _, lr := range levels {
-		if lr.Err != nil {
-			fmt.Fprintf(&b, "!! %g%% TPs FAILED: %v\n", lr.TPPercent, lr.Err)
-		}
-	}
-	return b.String()
-}
-
-func circuitName(rows []Metrics) string {
-	if len(rows) == 0 {
-		return "(empty)"
-	}
-	return rows[0].Circuit
-}
-
-// dec formats a percentage decrease relative to base ("-" on the
-// baseline row).
-func dec(base, v float64) string {
-	if base == 0 || v == base {
-		return "-"
-	}
-	return fmt.Sprintf("%.1f", 100*(base-v)/base)
-}
-
-// inc formats a percentage increase relative to base.
-func inc(base, v float64) string {
-	if base == 0 || v == base {
-		return "-"
-	}
-	return fmt.Sprintf("%+.2f", 100*(v-base)/base)
-}
+func FormatSweepFailures(levels []LevelResult) string { return flow.FormatSweepFailures(levels) }

@@ -27,19 +27,12 @@ package tpilayout
 
 import (
 	"context"
-	"fmt"
 	"io"
-	"runtime"
-	"strings"
-	"sync"
-	"sync/atomic"
 
 	"tpilayout/internal/circuitgen"
 	"tpilayout/internal/flow"
 	"tpilayout/internal/netlist"
-	"tpilayout/internal/scan"
 	"tpilayout/internal/stdcell"
-	"tpilayout/internal/supervise"
 	"tpilayout/internal/telemetry"
 )
 
@@ -129,17 +122,7 @@ func DSPCoreClass() Spec      { return circuitgen.DSPCoreClass() }
 // SpecByName resolves the experiment circuits by their paper names.
 // Matching is case-insensitive and ignores surrounding whitespace, so
 // "S38417 " resolves like "s38417".
-func SpecByName(name string) (Spec, error) {
-	switch strings.ToLower(strings.TrimSpace(name)) {
-	case "s38417", "s38417c":
-		return S38417Class(), nil
-	case "circuit1", "wctrl1", "wireless":
-		return WirelessCtrlClass(), nil
-	case "p26909", "p26909c", "dsp":
-		return DSPCoreClass(), nil
-	}
-	return Spec{}, fmt.Errorf("tpilayout: unknown circuit %q (want s38417, s38417c, circuit1, wctrl1, wireless, p26909, p26909c, or dsp)", name)
-}
+func SpecByName(name string) (Spec, error) { return circuitgen.SpecByName(name) }
 
 // Generate builds the netlist for a circuit spec.
 func Generate(spec Spec, lib *Library) (*Netlist, error) {
@@ -167,27 +150,12 @@ func CriticalNets(design *Netlist, cfg Config) (map[netlist.NetID]bool, error) {
 // ExperimentConfig returns the per-circuit flow configuration the paper
 // describes: chains of at most 100 flops for s38417 and circuit 1 with
 // 97% row utilization, at most 32 chains and 50% utilization for p26909.
-func ExperimentConfig(circuit string) Config {
-	cfg := Config{}
-	switch circuit {
-	case "p26909c", "p26909":
-		cfg.Scan = scan.Options{MaxChains: 32}
-		cfg.Place.TargetUtilization = 0.50
-	default:
-		cfg.Scan = scan.Options{MaxChainLength: 100}
-		cfg.Place.TargetUtilization = 0.97
-	}
-	return cfg
-}
+func ExperimentConfig(circuit string) Config { return flow.ExperimentConfig(circuit) }
 
 // LevelResult is the outcome of one level of a partial-failure sweep:
 // either Metrics (Err == nil) or the level's typed failure (Err != nil,
 // normally a *StageError). TPPercent identifies the level either way.
-type LevelResult struct {
-	TPPercent float64
-	Metrics   Metrics
-	Err       error
-}
+type LevelResult = flow.LevelResult
 
 // Sweep runs the flow for each test-point percentage and returns one
 // metrics row per layout, in order. Each layout is generated from scratch
@@ -199,7 +167,7 @@ type LevelResult struct {
 // input order and are bit-identical to a serial (Workers: 1) run; only
 // the wall-clock time changes.
 func Sweep(design *Netlist, cfg Config, tpPercents []float64) ([]Metrics, error) {
-	return SweepContext(context.Background(), design, cfg, tpPercents)
+	return flow.Sweep(design, cfg, tpPercents)
 }
 
 // SweepContext is Sweep under supervision: cancelling the context stops
@@ -208,20 +176,7 @@ func Sweep(design *Netlist, cfg Config, tpPercents []float64) ([]Metrics, error)
 // failing level in input order is returned (use SweepPartial to also
 // recover the levels that completed).
 func SweepContext(ctx context.Context, design *Netlist, cfg Config, tpPercents []float64) ([]Metrics, error) {
-	levels, err := SweepPartial(ctx, design, cfg, tpPercents)
-	if err != nil {
-		return nil, err
-	}
-	rows := make([]Metrics, len(levels))
-	for i, lr := range levels {
-		if lr.Err != nil {
-			// Deterministic error reporting: the first failing level by
-			// input order wins, matching what a serial run would return.
-			return nil, fmt.Errorf("tpilayout: sweep at %.1f%%: %w", lr.TPPercent, lr.Err)
-		}
-		rows[i] = lr.Metrics
-	}
-	return rows, nil
+	return flow.SweepContext(ctx, design, cfg, tpPercents)
 }
 
 // SweepPartial is the graceful-degradation sweep: it runs every level and
@@ -232,83 +187,5 @@ func SweepContext(ctx context.Context, design *Netlist, cfg Config, tpPercents [
 // LevelResult.Err fields. Each worker is panic-isolated: one crashing
 // level can neither kill the process nor poison its siblings.
 func SweepPartial(ctx context.Context, design *Netlist, cfg Config, tpPercents []float64) ([]LevelResult, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	out := make([]LevelResult, len(tpPercents))
-	for i, pct := range tpPercents {
-		out[i].TPPercent = pct
-	}
-	// One sweep-root span parents every level's run span, so a trace of
-	// a parallel sweep still reads as one tree: sweep → run(tp) →
-	// stages. The -1 level marks the root as a cross-level aggregate.
-	var sweepSpan *telemetry.Span
-	if cfg.TelemetrySpan != nil {
-		sweepSpan = cfg.TelemetrySpan.ChildTP(flow.StageSweep, -1)
-	} else {
-		sweepSpan = cfg.Telemetry.StartSpan(flow.StageSweep, -1)
-	}
-	defer sweepSpan.End()
-	// The base circuit is cloned once per sweep and its derived caches
-	// (CSR adjacency, fanout view, levelization) are built eagerly, so
-	// the per-level clones below share the warmed cache pointers instead
-	// of each rebuilding them — and no two workers ever race on a lazy
-	// build, because the base is immutable once prewarmed.
-	base := design.Clone()
-	base.Prewarm()
-	// runLevel owns out[i] exclusively; the deferred recover is the sweep
-	// worker's panic isolation (flow.RunInPlace already isolates stage
-	// panics — this guards everything outside it, Clone included).
-	runLevel := func(i int) {
-		pct := tpPercents[i]
-		defer func() {
-			if r := recover(); r != nil {
-				pe := supervise.AsPanicError(r)
-				out[i].Err = &flow.StageError{Stage: flow.StageSweep, TPPercent: pct, Err: pe, Stack: pe.Stack}
-			}
-		}()
-		c := cfg
-		c.TPPercent = pct
-		c.TelemetrySpan = sweepSpan
-		// Each level runs in place on its own clone of the prewarmed
-		// base, so the shared base stays strictly read-only inside the
-		// worker and the flow pays no second defensive clone.
-		r, err := flow.RunInPlace(ctx, base.Clone(), c)
-		if err != nil {
-			out[i].Err = err
-			return
-		}
-		out[i].Metrics = r.Metrics
-	}
-
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(tpPercents) {
-		workers = len(tpPercents)
-	}
-	if workers <= 1 {
-		for i := range tpPercents {
-			runLevel(i)
-		}
-		return out, nil
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(tpPercents) {
-					return
-				}
-				runLevel(i)
-			}
-		}()
-	}
-	wg.Wait()
-	return out, nil
+	return flow.SweepPartial(ctx, design, cfg, tpPercents)
 }
