@@ -8,7 +8,7 @@ TRACE_OUT ?= trace.ndjson
 TRACE_BASELINE ?= trace_baseline.ndjson
 MAX_REGRESS ?= 25
 
-.PHONY: test race bench bench-json bench-smoke trace-smoke trace-diff metrics-smoke service-smoke
+.PHONY: test race bench bench-json bench-smoke trace-smoke trace-diff metrics-smoke service-smoke crash-smoke chaos
 
 test:
 	go build ./... && go vet ./... && go test ./...
@@ -108,3 +108,20 @@ service-smoke:
 	kill -TERM $$pid; wait $$pid || { echo "service-smoke: drain exited non-zero"; exit 1; }; \
 	trap - EXIT; \
 	echo "service-smoke: submit, result, cache hit, metrics, drain all OK"
+
+# crash-smoke is the durability CI gate: TestCrashRestartResumesSweep
+# builds the real tpid binary, starts it with a journal directory,
+# SIGKILLs it the moment the first sweep-level checkpoint is durable,
+# restarts it on the same directory, and requires the resumed job to
+# finish with tables byte-identical to the committed golden — having
+# re-run only the levels that never checkpointed.
+crash-smoke:
+	go test -run 'TestCrashRestartResumesSweep' -count=1 -v .
+
+# chaos runs the seeded fault-injection recovery suite under the race
+# detector: 200 seeds of level panics, journal append faults, abrupt
+# kills, cancels, and torn segment tails, each followed by a restart
+# that must satisfy the recovery invariants (no double retirement, no
+# lost jobs on an intact journal, retry budgets respected, clean fold).
+chaos:
+	go test -race -run 'TestChaosRecoveryInvariants' -count=1 ./internal/service/

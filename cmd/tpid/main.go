@@ -14,7 +14,8 @@
 //	GET    /v1/jobs/{id}/result Tables 1–3 rows + rendered tables
 //	DELETE /v1/jobs/{id}        cancel (mid-run cancellation lands within one work unit)
 //	GET    /v1/stats            queue depth, cache hit/miss, jobs by terminal state
-//	GET    /healthz             200 while accepting, 503 while draining
+//	GET    /healthz             liveness: 200 whenever the process serves HTTP
+//	GET    /readyz              readiness: 503 while replaying the journal or draining
 //	GET    /metrics             Prometheus text exposition (flow + service families)
 //	GET    /debug/pprof/        net/http/pprof
 //
@@ -24,6 +25,12 @@
 // content-addressed cache, so a million identical requests cost one
 // layout. SIGTERM/SIGINT drains: running jobs get -drain-timeout to
 // finish, new submissions are rejected with 503, then the process exits.
+//
+// With -data-dir the daemon is crash-safe: accepted jobs, completed
+// sweep levels, and retired results are journaled (fsync'd, CRC-framed)
+// and a restart on the same directory replays them — finished jobs stay
+// queryable, unfinished jobs re-run only their missing levels, and a
+// kill -9 mid-sweep costs at most the levels that were in flight.
 package main
 
 import (
@@ -53,10 +60,14 @@ func main() {
 	maxBody := flag.Int64("max-body", 8<<20, "maximum submission body size in bytes")
 	retainJobs := flag.Int("retain-jobs", 512, "terminal jobs kept queryable before the oldest are forgotten")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM lets running jobs finish before canceling them")
+	dataDir := flag.String("data-dir", "", "journal directory for crash-safe operation (empty = in-memory only)")
+	retryAttempts := flag.Int("retry-attempts", 3, "attempts per sweep level before its transient failure becomes permanent")
+	retryBase := flag.Duration("retry-base", 100*time.Millisecond, "initial retry backoff (doubles per attempt, full jitter)")
+	retryMax := flag.Duration("retry-max", 5*time.Second, "backoff ceiling per retry")
 	flag.Parse()
 
 	prom := telemetry.NewPromSink("tpid")
-	srv := service.New(service.Options{
+	srv, err := service.Open(service.Options{
 		Workers:      *workers,
 		FlowWorkers:  *flowWorkers,
 		QueueDepth:   *queueDepth,
@@ -64,13 +75,27 @@ func main() {
 		MaxBodyBytes: *maxBody,
 		RetainJobs:   *retainJobs,
 		Metrics:      prom,
+		DataDir:      *dataDir,
+		Retry: service.RetryPolicy{
+			MaxAttempts: *retryAttempts,
+			BaseDelay:   *retryBase,
+			MaxDelay:    *retryMax,
+			Jitter:      true,
+		},
 	})
+	if err != nil {
+		log.Fatalf("opening service: %v", err)
+	}
+	if *dataDir != "" {
+		log.Printf("journal: %s (crash-safe; /readyz turns 200 once replay finishes)", *dataDir)
+	}
 
 	// One listener serves everything: the job API, the Prometheus
 	// exposition, and the profiler.
 	mux := http.NewServeMux()
 	mux.Handle("/v1/", srv)
 	mux.Handle("/healthz", srv)
+	mux.Handle("/readyz", srv)
 	mux.Handle("/metrics", prom)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

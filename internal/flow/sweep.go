@@ -73,6 +73,51 @@ func SweepContext(ctx context.Context, design *netlist.Netlist, cfg Config, tpPe
 	return rows, nil
 }
 
+// PrewarmBase clones design once and eagerly builds its derived caches
+// (CSR adjacency, fanout view, levelization), so per-level clones share
+// the warmed cache pointers instead of each rebuilding them — and no
+// two workers ever race on a lazy build, because the returned base is
+// immutable once prewarmed. It is the per-sweep setup step RunLevel
+// expects, split out so a resuming caller (the service's checkpoint
+// driver) can prewarm once and run individual levels à la carte.
+func PrewarmBase(design *netlist.Netlist) *netlist.Netlist {
+	base := design.Clone()
+	base.Prewarm()
+	return base
+}
+
+// RunLevel runs exactly one sweep level — the full Figure 2 flow at
+// pct% test points on a fresh clone of the prewarmed base — and returns
+// its LevelResult. It never panics: the worker-level recover that
+// SweepPartial installs lives here, so a crashing level (inside a stage
+// or outside, Clone included) degrades to LevelResult.Err, normally a
+// *StageError wrapping a supervise.PanicError. cfg.TPPercent is
+// overwritten with pct; cfg.TelemetrySpan (when non-nil) parents the
+// level's run span, letting a resumed level join an existing sweep
+// trace. This is the level-granular entry point checkpoint/resume and
+// per-level retry are built on.
+func RunLevel(ctx context.Context, base *netlist.Netlist, cfg Config, pct float64) (out LevelResult) {
+	out.TPPercent = pct
+	defer func() {
+		if r := recover(); r != nil {
+			pe := supervise.AsPanicError(r)
+			out.Err = &StageError{Stage: StageSweep, TPPercent: pct, Err: pe, Stack: pe.Stack}
+		}
+	}()
+	c := cfg
+	c.TPPercent = pct
+	// Each level runs in place on its own clone of the prewarmed base,
+	// so the shared base stays strictly read-only inside the worker and
+	// the flow pays no second defensive clone.
+	r, err := RunInPlace(ctx, base.Clone(), c)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	out.Metrics = r.Metrics
+	return out
+}
+
 // SweepPartial is the graceful-degradation sweep: it runs every level and
 // returns one LevelResult per TP percentage, in input order, so a failed,
 // panicked, or timed-out level is reported in place while completed
@@ -98,36 +143,11 @@ func SweepPartial(ctx context.Context, design *netlist.Netlist, cfg Config, tpPe
 		sweepSpan = cfg.Telemetry.StartSpan(StageSweep, -1)
 	}
 	defer sweepSpan.End()
-	// The base circuit is cloned once per sweep and its derived caches
-	// (CSR adjacency, fanout view, levelization) are built eagerly, so
-	// the per-level clones below share the warmed cache pointers instead
-	// of each rebuilding them — and no two workers ever race on a lazy
-	// build, because the base is immutable once prewarmed.
-	base := design.Clone()
-	base.Prewarm()
-	// runLevel owns out[i] exclusively; the deferred recover is the sweep
-	// worker's panic isolation (RunInPlace already isolates stage
-	// panics — this guards everything outside it, Clone included).
+	base := PrewarmBase(design)
 	runLevel := func(i int) {
-		pct := tpPercents[i]
-		defer func() {
-			if r := recover(); r != nil {
-				pe := supervise.AsPanicError(r)
-				out[i].Err = &StageError{Stage: StageSweep, TPPercent: pct, Err: pe, Stack: pe.Stack}
-			}
-		}()
 		c := cfg
-		c.TPPercent = pct
 		c.TelemetrySpan = sweepSpan
-		// Each level runs in place on its own clone of the prewarmed
-		// base, so the shared base stays strictly read-only inside the
-		// worker and the flow pays no second defensive clone.
-		r, err := RunInPlace(ctx, base.Clone(), c)
-		if err != nil {
-			out[i].Err = err
-			return
-		}
-		out[i].Metrics = r.Metrics
+		out[i] = RunLevel(ctx, base, c, tpPercents[i])
 	}
 
 	workers := cfg.Workers

@@ -1,0 +1,70 @@
+package flow
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"tpilayout/internal/scan"
+)
+
+// TestRunLevelMatchesSweepPartial: running levels one at a time through
+// the resume entry point (PrewarmBase + RunLevel) must produce metrics
+// bit-identical to an uninterrupted SweepPartial over the same levels —
+// the property that lets checkpoint/resume stitch tables no different
+// from a never-crashed run.
+func TestRunLevelMatchesSweepPartial(t *testing.T) {
+	n := design(t)
+	cfg := Config{Scan: scan.Options{MaxChainLength: 25}, Workers: 1}
+	cfg.Place.TargetUtilization = 0.90
+	levels := []float64{0, 2, 5}
+
+	sweep, err := SweepPartial(context.Background(), n, cfg, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := PrewarmBase(n)
+	for i, pct := range levels {
+		lr := RunLevel(context.Background(), base, cfg, pct)
+		if lr.Err != nil {
+			t.Fatalf("RunLevel(%.1f) failed: %v", pct, lr.Err)
+		}
+		if sweep[i].Err != nil {
+			t.Fatalf("SweepPartial level %.1f failed: %v", pct, sweep[i].Err)
+		}
+		// Telemetry snapshots differ by construction; compare metrics.
+		if !reflect.DeepEqual(lr.Metrics, sweep[i].Metrics) {
+			t.Errorf("level %.1f: RunLevel metrics diverge from SweepPartial\nrun:   %+v\nsweep: %+v",
+				pct, lr.Metrics, sweep[i].Metrics)
+		}
+	}
+}
+
+// TestRunLevelIsolatesPanics: a stage hook that panics degrades to a
+// StageError carried in LevelResult.Err, never a process panic.
+func TestRunLevelIsolatesPanics(t *testing.T) {
+	n := design(t)
+	cfg := Config{Scan: scan.Options{MaxChainLength: 25}}
+	cfg.Place.TargetUtilization = 0.90
+	cfg.StageHook = func(stage string, tp float64) {
+		if stage == StageATPG {
+			panic("injected stage crash")
+		}
+	}
+	base := PrewarmBase(n)
+	lr := RunLevel(context.Background(), base, cfg, 2)
+	if lr.Err == nil {
+		t.Fatal("panicking level returned no error")
+	}
+	var se *StageError
+	if !errors.As(lr.Err, &se) {
+		t.Fatalf("err = %T %v, want *StageError", lr.Err, lr.Err)
+	}
+	// The base must remain usable for a subsequent clean level.
+	cfg.StageHook = nil
+	if lr2 := RunLevel(context.Background(), base, cfg, 2); lr2.Err != nil {
+		t.Fatalf("base poisoned by panicked sibling: %v", lr2.Err)
+	}
+}

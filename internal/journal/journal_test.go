@@ -1,0 +1,460 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// reopen closes j and replays its directory.
+func reopen(t *testing.T, j *Journal, dir string, opt Options) (*Journal, []Record) {
+	t.Helper()
+	if j != nil {
+		if err := j.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	}
+	nj, recs, err := Open(dir, opt)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return nj, recs
+}
+
+func payload(i int) []byte { return []byte(fmt.Sprintf("record-%04d", i)) }
+
+// TestRoundTrip: appended records come back in order with types intact.
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, recs, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+	types := []Type{TypeAccepted, TypeLevelDone, TypeLevelDone, TypeRetired, TypeCanceled}
+	for i, typ := range types {
+		if err := j.Append(typ, payload(i)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if got := j.Appends(); got != int64(len(types)) {
+		t.Fatalf("Appends = %d, want %d", got, len(types))
+	}
+	j, recs = reopen(t, j, dir, Options{NoSync: true})
+	defer j.Close()
+	if len(recs) != len(types) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(types))
+	}
+	for i, r := range recs {
+		if r.Type != types[i] || !bytes.Equal(r.Data, payload(i)) {
+			t.Fatalf("record %d = {%d %q}, want {%d %q}", i, r.Type, r.Data, types[i], payload(i))
+		}
+	}
+	// Appends after reopen land after the replayed prefix.
+	if err := j.Append(TypeRetired, payload(99)); err != nil {
+		t.Fatal(err)
+	}
+	j2, recs2 := reopen(t, j, dir, Options{NoSync: true})
+	defer j2.Close()
+	if len(recs2) != len(types)+1 || !bytes.Equal(recs2[len(types)].Data, payload(99)) {
+		t.Fatalf("post-reopen append not replayed: %d records", len(recs2))
+	}
+}
+
+// TestEmptyPayloadAndLarge: zero-byte and multi-KiB payloads survive.
+func TestEmptyPayloadAndLarge(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := bytes.Repeat([]byte{0xAB}, 128<<10)
+	if err := j.Append(TypeAccepted, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(TypeLevelDone, big); err != nil {
+		t.Fatal(err)
+	}
+	j, recs := reopen(t, j, dir, Options{NoSync: true})
+	defer j.Close()
+	if len(recs) != 2 || len(recs[0].Data) != 0 || !bytes.Equal(recs[1].Data, big) {
+		t.Fatalf("payload round-trip failed: %d records", len(recs))
+	}
+}
+
+// TestRotation: appends past SegmentBytes open new segments, all replay.
+func TestRotation(t *testing.T) {
+	dir := t.TempDir()
+	opt := Options{NoSync: true, SegmentBytes: 64}
+	j, _, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40
+	for i := 0; i < n; i++ {
+		if err := j.Append(TypeLevelDone, payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if segs := j.Segments(); segs < 2 {
+		t.Fatalf("expected rotation, got %d segment(s)", segs)
+	}
+	j, recs := reopen(t, j, dir, opt)
+	defer j.Close()
+	if len(recs) != n {
+		t.Fatalf("replayed %d records across segments, want %d", len(recs), n)
+	}
+	for i, r := range recs {
+		if !bytes.Equal(r.Data, payload(i)) {
+			t.Fatalf("record %d out of order: %q", i, r.Data)
+		}
+	}
+}
+
+// TestCompaction: Compact collapses the prefix into a snapshot that
+// replays first, covered segments are deleted, and post-compact appends
+// follow the snapshot.
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	opt := Options{NoSync: true, SegmentBytes: 64}
+	j, _, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := j.Append(TypeLevelDone, payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	state := []byte("snapshot-state-v1")
+	if err := j.Compact(state); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if err := j.Append(TypeRetired, payload(100)); err != nil {
+		t.Fatal(err)
+	}
+	j, recs := reopen(t, j, dir, opt)
+	defer j.Close()
+	if len(recs) != 2 {
+		t.Fatalf("post-compact replay = %d records, want snapshot+1", len(recs))
+	}
+	if recs[0].Type != TypeSnapshot || !bytes.Equal(recs[0].Data, state) {
+		t.Fatalf("first record = {%d %q}, want snapshot", recs[0].Type, recs[0].Data)
+	}
+	if recs[1].Type != TypeRetired || !bytes.Equal(recs[1].Data, payload(100)) {
+		t.Fatalf("second record = {%d %q}", recs[1].Type, recs[1].Data)
+	}
+	// Old segments are gone from disk.
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if len(segs) != 1 {
+		t.Fatalf("live segments after compact = %d, want 1: %v", len(segs), segs)
+	}
+	// Size resets to the live tail.
+	if sz := j.Size(); sz <= 0 {
+		t.Fatalf("Size after compact+append = %d", sz)
+	}
+	// A second compact supersedes the first snapshot.
+	if err := j.Compact([]byte("snapshot-state-v2")); err != nil {
+		t.Fatal(err)
+	}
+	j, recs = reopen(t, j, dir, opt)
+	defer j.Close()
+	if len(recs) != 1 || string(recs[0].Data) != "snapshot-state-v2" {
+		t.Fatalf("second snapshot not authoritative: %d records", len(recs))
+	}
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if len(snaps) != 1 {
+		t.Fatalf("stale snapshots not pruned: %v", snaps)
+	}
+}
+
+// TestCrashMidCompact: a leftover snap-*.tmp (crash between write and
+// rename) is ignored and removed; the journal replays from segments.
+func TestCrashMidCompact(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := j.Append(TypeAccepted, payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	// Simulate the crash: a half-written tmp snapshot on disk.
+	tmp := filepath.Join(dir, "snap-00000001.tmp")
+	if err := os.WriteFile(tmp, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, recs, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if len(recs) != 5 {
+		t.Fatalf("replay with stale tmp = %d records, want 5", len(recs))
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("stale snapshot tmp not removed")
+	}
+}
+
+// TestCorruptSnapshotFallsBack: a snapshot whose CRC fails is skipped in
+// favor of an older valid one (or plain segment replay).
+func TestCorruptSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Append(TypeAccepted, payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	// A snapshot claiming to cover a future segment, but corrupt.
+	bad := frameRecord(TypeSnapshot, []byte("state"))
+	bad[len(bad)-1] ^= 0xFF
+	if err := os.WriteFile(filepath.Join(dir, "snap-00000009.snap"), bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, recs, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if len(recs) != 3 || recs[0].Type != TypeAccepted {
+		t.Fatalf("corrupt snapshot not skipped: %d records", len(recs))
+	}
+}
+
+// TestTornTailExhaustive: for a journal of N records, cut the (single)
+// segment at EVERY byte offset. Replay must recover exactly the records
+// whose frames lie wholly before the cut, and the journal must accept
+// further appends afterwards.
+func TestTornTailExhaustive(t *testing.T) {
+	base := t.TempDir()
+	dir := filepath.Join(base, "orig")
+	j, _, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 6
+	var boundaries []int64 // cumulative frame ends
+	var off int64
+	for i := 0; i < n; i++ {
+		if err := j.Append(TypeLevelDone, payload(i)); err != nil {
+			t.Fatal(err)
+		}
+		off += int64(headerBytes + 1 + len(payload(i)))
+		boundaries = append(boundaries, off)
+	}
+	j.Close()
+	seg := filepath.Join(dir, segName(1))
+	full, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(full)) != off {
+		t.Fatalf("segment size %d != computed %d", len(full), off)
+	}
+
+	for cut := 0; cut <= len(full); cut++ {
+		// Complete records strictly before the cut.
+		want := 0
+		for _, b := range boundaries {
+			if b <= int64(cut) {
+				want++
+			}
+		}
+		cdir := filepath.Join(base, fmt.Sprintf("cut-%04d", cut))
+		if err := os.MkdirAll(cdir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(cdir, segName(1)), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cj, recs, err := Open(cdir, Options{NoSync: true})
+		if err != nil {
+			t.Fatalf("cut %d: Open: %v", cut, err)
+		}
+		if len(recs) != want {
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, len(recs), want)
+		}
+		for i, r := range recs {
+			if !bytes.Equal(r.Data, payload(i)) {
+				t.Fatalf("cut %d: record %d corrupted: %q", cut, i, r.Data)
+			}
+		}
+		// The torn tail is gone: a fresh append then full replay works.
+		if err := cj.Append(TypeRetired, []byte("after-cut")); err != nil {
+			t.Fatalf("cut %d: append after recovery: %v", cut, err)
+		}
+		cj, recs = reopen(t, cj, cdir, Options{NoSync: true})
+		if len(recs) != want+1 || string(recs[want].Data) != "after-cut" {
+			t.Fatalf("cut %d: post-recovery append lost (%d records)", cut, len(recs))
+		}
+		cj.Close()
+		os.RemoveAll(cdir)
+	}
+}
+
+// TestGarbageTail: random trailing garbage (not a prefix of a valid
+// frame) is discarded like a torn record.
+func TestGarbageTail(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := j.Append(TypeAccepted, payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	seg := filepath.Join(dir, segName(1))
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0xFF, 0xFF, 0xFF, 0x7F, 0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x02})
+	f.Close()
+	j, recs, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if len(recs) != 4 {
+		t.Fatalf("garbage tail replay = %d records, want 4", len(recs))
+	}
+}
+
+// TestTornMidSequenceRejected: a torn frame in a non-final segment means
+// real corruption (fsync-before-rotate forbids it) and must error.
+func TestTornMidSequenceRejected(t *testing.T) {
+	dir := t.TempDir()
+	opt := Options{NoSync: true, SegmentBytes: 64}
+	j, _, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := j.Append(TypeLevelDone, payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if len(segs) < 2 {
+		t.Fatalf("need ≥2 segments, got %d", len(segs))
+	}
+	// Corrupt the FIRST segment's tail.
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(segs[0], data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, opt); err == nil {
+		t.Fatal("Open accepted a torn non-final segment")
+	}
+}
+
+// TestHookFaults: hook-injected errors fail the matching operation and
+// the journal remains usable once the fault clears.
+func TestHookFaults(t *testing.T) {
+	dir := t.TempDir()
+	var failOp Op
+	boom := errors.New("injected disk error")
+	opt := Options{NoSync: true, Hook: func(op Op) error {
+		if op == failOp {
+			return boom
+		}
+		return nil
+	}}
+	j, _, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	failOp = OpAppend
+	if err := j.Append(TypeAccepted, payload(0)); !errors.Is(err, boom) {
+		t.Fatalf("append fault = %v, want injected", err)
+	}
+	failOp = ""
+	if err := j.Append(TypeAccepted, payload(0)); err != nil {
+		t.Fatalf("append after fault cleared: %v", err)
+	}
+	failOp = OpSnapshot
+	if err := j.Compact([]byte("s")); !errors.Is(err, boom) {
+		t.Fatalf("snapshot fault = %v, want injected", err)
+	}
+	failOp = ""
+	if err := j.Compact([]byte("s")); err != nil {
+		t.Fatalf("compact after fault cleared: %v", err)
+	}
+}
+
+// TestClosed: operations after Close fail with ErrClosed; Close is
+// idempotent.
+func TestClosed(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := j.Append(TypeAccepted, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after Close = %v, want ErrClosed", err)
+	}
+	if err := j.Compact(nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Compact after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestRead: the read-only replay matches Open's without touching files.
+func TestRead(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Append(TypeAccepted, payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	// Append garbage: Read must tolerate it WITHOUT truncating the file.
+	seg := filepath.Join(dir, segName(1))
+	before, _ := os.ReadFile(seg)
+	f, _ := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	f.Write([]byte{1, 2, 3})
+	f.Close()
+	recs, err := Read(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("Read = %d records, want 3", len(recs))
+	}
+	after, _ := os.ReadFile(seg)
+	if len(after) != len(before)+3 {
+		t.Fatal("Read mutated the segment file")
+	}
+}

@@ -1,0 +1,478 @@
+package service
+
+// Durability: the server's journal integration. Every job-state
+// transition of a journaled job appends one fsync'd record:
+//
+//	accepted   — the job's replayable request (canonical bench text +
+//	             resolved flow config), written BEFORE the run is
+//	             queued, so an accepted record always precedes any
+//	             terminal record for the same job.
+//	level-done — one completed sweep level (content-addressed level key
+//	             + its Metrics): the checkpoint granule resume is built
+//	             on. Budgeted (wall-clock-dependent) and truncated
+//	             levels are never checkpointed.
+//	retired    — a run's jobs reaching done/failed/canceled, with the
+//	             full result for done runs so a restarted daemon can
+//	             answer GET /result without recomputing.
+//	canceled   — a single job detached by DELETE.
+//
+// On startup the journal is replayed: retired jobs become queryable
+// terminal jobs again (complete cacheable results repopulate the LRU in
+// record order), level checkpoints repopulate the resume store, and
+// unfinished jobs are recompiled from their accepted records and
+// re-enqueued — running only the levels that have no checkpoint.
+// Cache-hit answered submissions are never journaled at all: they cost
+// no flow, so there is nothing to recover.
+//
+// Journal append failures are counted (service.journal_errors) but do
+// not fail requests: the daemon degrades to in-memory operation rather
+// than refusing work (availability over durability).
+
+import (
+	"context"
+	"encoding/json"
+	"time"
+
+	"tpilayout/internal/flow"
+	"tpilayout/internal/journal"
+)
+
+// recAccepted is the journal image of one accepted job: everything
+// needed to recompile an identical run after a restart. Bench is the
+// CANONICAL .bench text (WriteBench of the parsed design, clock domains
+// included), so recompiling hashes to the same content address as the
+// original submission. Flow carries the resolved preset in Experiment,
+// pinning the config even when the original request left it implicit.
+type recAccepted struct {
+	JobID    string     `json:"job_id"`
+	Tenant   string     `json:"tenant"`
+	Name     string     `json:"name"`
+	Bench    string     `json:"bench"`
+	TPLevels []float64  `json:"tp_levels"`
+	Flow     FlowConfig `json:"flow"`
+	Created  time.Time  `json:"created"`
+}
+
+// recLevelDone checkpoints one completed level under its content
+// address (base key + TP percentage).
+type recLevelDone struct {
+	Key       string       `json:"key"`
+	TPPercent float64      `json:"tp_percent"`
+	Metrics   flow.Metrics `json:"metrics"`
+}
+
+// recRetired records a run's jobs reaching a terminal state.
+type recRetired struct {
+	JobIDs    []string   `json:"job_ids"`
+	State     State      `json:"state"`
+	Error     string     `json:"error,omitempty"`
+	CacheKey  string     `json:"cache_key"`
+	Cacheable bool       `json:"cacheable"`
+	Result    *JobResult `json:"result,omitempty"`
+	Finished  time.Time  `json:"finished"`
+}
+
+// recCanceled records one job canceled by its client.
+type recCanceled struct {
+	JobID    string    `json:"job_id"`
+	Finished time.Time `json:"finished"`
+}
+
+// retiredJob is a terminal job inside a snapshot: the queryable state
+// a restarted daemon serves for already-finished work.
+type retiredJob struct {
+	JobID     string     `json:"job_id"`
+	Tenant    string     `json:"tenant"`
+	Name      string     `json:"name"`
+	TPLevels  []float64  `json:"tp_levels"`
+	State     State      `json:"state"`
+	Error     string     `json:"error,omitempty"`
+	CacheKey  string     `json:"cache_key"`
+	Cacheable bool       `json:"cacheable"`
+	Result    *JobResult `json:"result,omitempty"`
+	Created   time.Time  `json:"created"`
+	Finished  time.Time  `json:"finished"`
+}
+
+// snapState is the compacted fold of the whole journal: what a snapshot
+// record holds and what replay reconstructs.
+type snapState struct {
+	Pending []recAccepted  `json:"pending"`
+	Retired []retiredJob   `json:"retired"`
+	Levels  []recLevelDone `json:"levels"`
+}
+
+// foldRecords reduces a replayed record stream to its final state:
+// pending jobs still owed a run, retired jobs in retirement order, and
+// the surviving level checkpoints.
+func foldRecords(recs []journal.Record) *snapState {
+	st := &snapState{}
+	pendIdx := map[string]int{} // job id → index into st.Pending (-1 = tombstone)
+	rebuildIdx := func() {
+		pendIdx = map[string]int{}
+		for i, p := range st.Pending {
+			pendIdx[p.JobID] = i
+		}
+	}
+	takePending := func(id string) (recAccepted, bool) {
+		i, ok := pendIdx[id]
+		if !ok || i < 0 {
+			return recAccepted{}, false
+		}
+		rec := st.Pending[i]
+		st.Pending = append(st.Pending[:i:i], st.Pending[i+1:]...)
+		rebuildIdx()
+		return rec, true
+	}
+	levelIdx := map[string]int{}
+	for _, r := range recs {
+		switch r.Type {
+		case journal.TypeSnapshot:
+			var snap snapState
+			if json.Unmarshal(r.Data, &snap) == nil {
+				st = &snap
+				rebuildIdx()
+				levelIdx = map[string]int{}
+				for i, l := range st.Levels {
+					levelIdx[l.Key] = i
+				}
+			}
+		case journal.TypeAccepted:
+			var rec recAccepted
+			if json.Unmarshal(r.Data, &rec) == nil && rec.JobID != "" {
+				if _, dup := pendIdx[rec.JobID]; !dup {
+					pendIdx[rec.JobID] = len(st.Pending)
+					st.Pending = append(st.Pending, rec)
+				}
+			}
+		case journal.TypeLevelDone:
+			var rec recLevelDone
+			if json.Unmarshal(r.Data, &rec) == nil && rec.Key != "" {
+				if i, ok := levelIdx[rec.Key]; ok {
+					st.Levels[i] = rec
+				} else {
+					levelIdx[rec.Key] = len(st.Levels)
+					st.Levels = append(st.Levels, rec)
+				}
+			}
+		case journal.TypeRetired:
+			var rec recRetired
+			if json.Unmarshal(r.Data, &rec) != nil {
+				continue
+			}
+			for _, id := range rec.JobIDs {
+				acc, ok := takePending(id)
+				if !ok {
+					continue // already terminal (duplicate record) or unknown
+				}
+				st.Retired = append(st.Retired, retiredJob{
+					JobID: id, Tenant: acc.Tenant, Name: acc.Name,
+					TPLevels: acc.TPLevels, State: rec.State, Error: rec.Error,
+					CacheKey: rec.CacheKey, Cacheable: rec.Cacheable,
+					Result: rec.Result, Created: acc.Created, Finished: rec.Finished,
+				})
+			}
+		case journal.TypeCanceled:
+			var rec recCanceled
+			if json.Unmarshal(r.Data, &rec) != nil {
+				continue
+			}
+			if acc, ok := takePending(rec.JobID); ok {
+				st.Retired = append(st.Retired, retiredJob{
+					JobID: rec.JobID, Tenant: acc.Tenant, Name: acc.Name,
+					TPLevels: acc.TPLevels, State: StateCanceled,
+					Error: "canceled by client", Created: acc.Created,
+					Finished: rec.Finished,
+				})
+			}
+		}
+	}
+	return st
+}
+
+// ---------------------------------------------------------------------------
+// Level checkpoint store
+
+// checkpointStore holds completed levels by content address so a
+// resumed or resubmitted sweep skips work already done. Insertion-order
+// bounded: the oldest checkpoints fall off past maxCheckpoints.
+type checkpointStore struct {
+	m     map[string]recLevelDone
+	order []string
+	max   int
+}
+
+const defaultMaxCheckpoints = 8192
+
+func newCheckpointStore(max int) *checkpointStore {
+	if max <= 0 {
+		max = defaultMaxCheckpoints
+	}
+	return &checkpointStore{m: map[string]recLevelDone{}, max: max}
+}
+
+// All methods are called with Server.mu held.
+
+func (c *checkpointStore) get(key string) (flow.Metrics, bool) {
+	rec, ok := c.m[key]
+	return rec.Metrics, ok
+}
+
+func (c *checkpointStore) put(rec recLevelDone) {
+	if _, ok := c.m[rec.Key]; !ok {
+		c.order = append(c.order, rec.Key)
+		for len(c.order) > c.max {
+			delete(c.m, c.order[0])
+			c.order = c.order[1:]
+		}
+	}
+	c.m[rec.Key] = rec
+}
+
+func (c *checkpointStore) snapshot() []recLevelDone {
+	out := make([]recLevelDone, 0, len(c.order))
+	for _, key := range c.order {
+		if rec, ok := c.m[key]; ok {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Server-side journal plumbing
+
+// appendRecord journals one state transition. A nil journal (in-memory
+// server), a Kill()ed server, or an append failure all degrade to
+// in-memory operation; failures are counted, never propagated.
+func (s *Server) appendRecord(t journal.Type, v any) {
+	if s.jrnl == nil || s.dead.Load() {
+		return
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	if err := s.jrnl.Append(t, data); err != nil {
+		s.journalErrors.Add(1)
+		s.emitMetric(map[string]int64{"service.journal_errors": 1}, nil, nil)
+	}
+}
+
+// maybeCompact snapshots the journal when its live segments outgrow the
+// compaction threshold. One compaction at a time; concurrent retiring
+// runs skip rather than queue.
+func (s *Server) maybeCompact() {
+	if s.jrnl == nil || s.dead.Load() || s.jrnl.Size() < s.opt.JournalCompactBytes {
+		return
+	}
+	if !s.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	defer s.compacting.Store(false)
+	s.compactJournal()
+}
+
+// compactJournal writes the current fold of the journal as a snapshot.
+func (s *Server) compactJournal() {
+	if s.jrnl == nil || s.dead.Load() {
+		return
+	}
+	state, err := json.Marshal(s.snapshotState())
+	if err != nil {
+		return
+	}
+	if err := s.jrnl.Compact(state); err != nil {
+		s.journalErrors.Add(1)
+	}
+}
+
+// snapshotState assembles the snapState equivalent to replaying every
+// record written so far.
+func (s *Server) snapshotState() *snapState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := &snapState{Levels: s.checkpoints.snapshot()}
+	for _, id := range s.order {
+		job := s.jobs[id]
+		if job == nil || !job.journaled {
+			continue
+		}
+		if job.state.terminal() {
+			st.Retired = append(st.Retired, retiredJob{
+				JobID: job.ID, Tenant: job.Tenant, Name: job.Circuit,
+				TPLevels: job.Levels, State: job.state, Error: job.errMsg,
+				CacheKey: job.Key, Cacheable: job.cacheable, Result: job.result,
+				Created: job.created, Finished: job.finished,
+			})
+		} else if job.accepted != nil {
+			st.Pending = append(st.Pending, *job.accepted)
+		}
+	}
+	return st
+}
+
+// replay reconstructs the server's state from the journal fold, then
+// marks the server ready. It runs asynchronously from Open so liveness
+// (/healthz) is immediate while readiness (/readyz) waits; submissions
+// during replay answer 503.
+func (s *Server) replay(st *snapState) {
+	defer s.replayWG.Done()
+	if s.opt.replayGate != nil {
+		<-s.opt.replayGate
+	}
+
+	s.mu.Lock()
+	for _, l := range st.Levels {
+		s.checkpoints.put(l)
+	}
+	// Retired jobs become queryable terminal jobs again; complete
+	// cacheable results re-enter the LRU in retirement order, so the
+	// cache's eviction order matches the pre-crash daemon's.
+	for i := range st.Retired {
+		r := &st.Retired[i]
+		job := &Job{
+			ID: r.JobID, Tenant: r.Tenant, Key: r.CacheKey, Levels: r.TPLevels,
+			Circuit: r.Name, state: r.State, errMsg: r.Error, result: r.Result,
+			created: r.Created, finished: r.Finished, started: r.Created,
+			journaled: true, cacheable: r.Cacheable,
+		}
+		if _, exists := s.jobs[job.ID]; exists {
+			continue
+		}
+		s.rememberJobLocked(job)
+		if r.Cacheable && r.Result != nil && r.Result.Complete {
+			s.cache.Put(r.CacheKey, r.Result)
+		}
+	}
+	s.mu.Unlock()
+
+	// Unfinished jobs are recompiled and re-enqueued through the normal
+	// admission path: identical pending jobs coalesce, and a pending job
+	// whose twin already retired with a cached result is answered from
+	// the cache (and retired in the journal so it stays answered).
+	replayed := int64(0)
+	for i := range st.Pending {
+		if s.readmit(&st.Pending[i]) {
+			replayed++
+		}
+	}
+	s.replayedJobs.Add(replayed)
+	if replayed > 0 {
+		s.emitMetric(map[string]int64{"service.replayed_jobs": replayed}, nil, nil)
+	}
+	// Startup compaction: the fold just performed becomes the snapshot,
+	// bounding the next restart's replay cost.
+	s.compactJournal()
+	s.ready.Store(true)
+}
+
+// readmit re-creates one pending job from its accepted record and
+// enqueues it. Reports whether the job was re-queued (as opposed to
+// answered terminally).
+func (s *Server) readmit(rec *recAccepted) bool {
+	req := &JobRequest{
+		Tenant:   rec.Tenant,
+		Circuit:  CircuitSpec{Bench: rec.Bench, Name: rec.Name},
+		TPLevels: rec.TPLevels,
+		Flow:     rec.Flow,
+	}
+	comp, err := compileRequest(req)
+	now := time.Now()
+	if err != nil {
+		// The record no longer compiles (journal from a newer build?):
+		// retire it as failed so it stops replaying forever.
+		s.mu.Lock()
+		job := &Job{
+			ID: rec.JobID, Tenant: rec.Tenant, Circuit: rec.Name,
+			Levels: rec.TPLevels, state: StateFailed,
+			errMsg: "replay: " + err.Error(), created: rec.Created,
+			started: rec.Created, finished: now, journaled: true,
+		}
+		s.rememberJobLocked(job)
+		s.mu.Unlock()
+		s.jobsFailed.Add(1)
+		s.appendRecord(journal.TypeRetired, &recRetired{
+			JobIDs: []string{rec.JobID}, State: StateFailed,
+			Error: job.errMsg, Finished: now,
+		})
+		return false
+	}
+
+	job := &Job{
+		ID: rec.JobID, Tenant: comp.tenant, Key: comp.key, Levels: comp.levels,
+		Circuit: comp.design.Name, created: rec.Created,
+		journaled: true, cacheable: comp.cacheable, accepted: rec,
+	}
+
+	s.mu.Lock()
+	if _, exists := s.jobs[job.ID]; exists {
+		s.mu.Unlock()
+		return false
+	}
+	if comp.cacheable {
+		if live, ok := s.inflight[comp.key]; ok {
+			// An identical pending job is already re-queued: coalesce.
+			job.run = live
+			job.coalesce = true
+			job.state = s.runStateLocked(live)
+			live.jobs = append(live.jobs, job)
+			s.rememberJobLocked(job)
+			s.mu.Unlock()
+			return true
+		}
+		if res, ok := s.cache.Get(comp.key); ok {
+			// A retired twin's recovered result answers this job.
+			job.state = StateDone
+			job.cacheHit = true
+			job.result = res
+			job.started = job.created
+			job.finished = now
+			s.rememberJobLocked(job)
+			s.mu.Unlock()
+			s.jobsDone.Add(1)
+			s.appendRecord(journal.TypeRetired, &recRetired{
+				JobIDs: []string{job.ID}, State: StateDone, CacheKey: comp.key,
+				Cacheable: true, Result: res, Finished: now,
+			})
+			return false
+		}
+	}
+	rn := s.newRun(comp, rec.Flow.ATPGBudgetMS, job)
+	if err := s.queue.Push(rn); err != nil {
+		// Queue full or draining at replay: retire as canceled so the
+		// client sees a definite outcome rather than a silent drop.
+		job.state = StateCanceled
+		job.errMsg = "replay: " + err.Error()
+		job.run = nil
+		job.finished = now
+		s.rememberJobLocked(job)
+		s.mu.Unlock()
+		rn.cancel()
+		s.jobsCanceled.Add(1)
+		s.appendRecord(journal.TypeRetired, &recRetired{
+			JobIDs: []string{job.ID}, State: StateCanceled,
+			Error: job.errMsg, CacheKey: comp.key, Finished: now,
+		})
+		return false
+	}
+	if comp.cacheable {
+		s.inflight[comp.key] = rn
+	}
+	s.active[rn] = true
+	s.rememberJobLocked(job)
+	s.mu.Unlock()
+	return true
+}
+
+// Kill simulates an abrupt process death for crash tests: journal
+// writes stop IMMEDIATELY — nothing after Kill reaches the data
+// directory, exactly as if the process had been SIGKILLed — and the
+// worker pool is torn down without drain semantics. The server is
+// unusable afterwards; Open a new one on the same DataDir to "restart".
+func (s *Server) Kill() {
+	s.dead.Store(true)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.Shutdown(ctx)
+}

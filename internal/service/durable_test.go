@@ -1,0 +1,586 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tpilayout/internal/flow"
+	"tpilayout/internal/journal"
+	"tpilayout/internal/netlist"
+	"tpilayout/internal/supervise"
+	"tpilayout/internal/telemetry"
+)
+
+// stubMetrics is a deterministic, JSON-exact metrics row for a level:
+// the values survive the journal's JSON round trip bit-identically, so
+// a checkpointed level is indistinguishable from a freshly run one.
+func stubMetrics(pct float64) flow.Metrics {
+	return flow.Metrics{
+		Circuit:  "tiny",
+		NumTP:    int(pct*10) + 1,
+		NumFF:    42,
+		Patterns: 7,
+		FC:       98.5,
+		CoreArea: 1234.5 + pct,
+	}
+}
+
+// levelRecorder stubs Server.runLevel, recording which TP percentages
+// actually executed a flow (as opposed to being answered from a
+// checkpoint).
+type levelRecorder struct {
+	mu  sync.Mutex
+	ran []float64
+}
+
+func (lr *levelRecorder) hook(rn *run, base *netlist.Netlist, cfg flow.Config, pct float64) flow.LevelResult {
+	lr.mu.Lock()
+	lr.ran = append(lr.ran, pct)
+	lr.mu.Unlock()
+	return flow.LevelResult{TPPercent: pct, Metrics: stubMetrics(pct)}
+}
+
+func (lr *levelRecorder) executed() []float64 {
+	lr.mu.Lock()
+	defer lr.mu.Unlock()
+	out := append([]float64(nil), lr.ran...)
+	sort.Float64s(out)
+	return out
+}
+
+// openDurable opens a durable server on dir with fsync off (tests) and a
+// replay gate, installs stubs while replay is parked, then releases it.
+func openDurable(t *testing.T, dir string, opt Options, install func(*Server)) *Server {
+	t.Helper()
+	gate := make(chan struct{})
+	opt.DataDir = dir
+	opt.journalNoSync = true
+	opt.replayGate = gate
+	s, err := Open(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if install != nil {
+		install(s)
+	}
+	close(gate)
+	waitFor(t, func() bool { return s.Stats().Ready })
+	return s
+}
+
+// transientStageError is the retryable failure shape: a stage panic
+// isolated into a StageError wrapping a supervise.PanicError.
+func transientStageError(pct float64) error {
+	return &flow.StageError{
+		Stage: flow.StageSweep, TPPercent: pct,
+		Err: supervise.AsPanicError("chaos boom"),
+	}
+}
+
+// TestKillResumesOnlyMissingLevels is the tentpole scenario: a SIGKILL
+// (simulated by Kill) lands mid-sweep after two of three levels were
+// checkpointed; the restarted daemon re-admits the job and re-executes
+// ONLY the missing level, stitching a result identical to an
+// uninterrupted run.
+func TestKillResumesOnlyMissingLevels(t *testing.T) {
+	dir := t.TempDir()
+
+	reached := make(chan struct{})
+	s1 := openDurable(t, dir, Options{Workers: 1}, func(s *Server) {
+		var once sync.Once
+		s.runLevel = func(rn *run, base *netlist.Netlist, cfg flow.Config, pct float64) flow.LevelResult {
+			if pct == 2 {
+				once.Do(func() { close(reached) })
+				<-rn.ctx.Done() // the level a crash interrupts
+				return flow.LevelResult{TPPercent: pct, Err: rn.ctx.Err()}
+			}
+			return flow.LevelResult{TPPercent: pct, Metrics: stubMetrics(pct)}
+		}
+	})
+
+	_, st := postJob(t, s1, jobBody(t, "acme", 0, 1, 2))
+	<-reached // levels 0 and 1 are checkpointed; level 2 is in flight
+	s1.Kill()
+
+	// Restart on the same directory. The stub proves which levels run.
+	rec := &levelRecorder{}
+	s2 := openDurable(t, dir, Options{Workers: 1}, func(s *Server) {
+		s.runLevel = rec.hook
+	})
+	defer shutdown(t, s2)
+
+	got := waitState(t, s2, st.ID, StateDone)
+	if ran := rec.executed(); !reflect.DeepEqual(ran, []float64{2}) {
+		t.Fatalf("restart re-executed levels %v, want only [2]", ran)
+	}
+	if got.ResumedLevels != 2 {
+		t.Fatalf("status resumed_levels = %d, want 2", got.ResumedLevels)
+	}
+	stats := s2.Stats()
+	if stats.LevelsResumed != 2 || stats.LevelsRun != 1 || stats.ReplayedJobs != 1 {
+		t.Fatalf("stats = resumed %d run %d replayed %d, want 2/1/1",
+			stats.LevelsResumed, stats.LevelsRun, stats.ReplayedJobs)
+	}
+
+	// The stitched result is exactly what an uninterrupted run produces:
+	// checkpointed rows and the fresh row are indistinguishable.
+	code, res := getResult(t, s2, st.ID)
+	if code != http.StatusOK || !res.Complete {
+		t.Fatalf("result after resume: code=%d complete=%v", code, res != nil && res.Complete)
+	}
+	want := []flow.Metrics{stubMetrics(0), stubMetrics(1), stubMetrics(2)}
+	if !reflect.DeepEqual(res.Rows, want) {
+		t.Fatalf("resumed rows differ from uninterrupted sweep:\ngot  %+v\nwant %+v", res.Rows, want)
+	}
+}
+
+// TestResubmitSharesCheckpoints: sweeps with different level mixes over
+// the same circuit+config share one checkpoint namespace, so a
+// resubmission runs only the levels no earlier sweep completed.
+func TestResubmitSharesCheckpoints(t *testing.T) {
+	rec := &levelRecorder{}
+	s := openDurable(t, t.TempDir(), Options{Workers: 1}, func(s *Server) {
+		s.runLevel = rec.hook
+	})
+	defer shutdown(t, s)
+
+	_, st1 := postJob(t, s, jobBody(t, "acme", 0, 1))
+	waitState(t, s, st1.ID, StateDone)
+
+	// Different level list → different cache key, same base key: level 1
+	// must be answered from its checkpoint.
+	code, st2 := postJob(t, s, jobBody(t, "acme", 1, 5))
+	if code != http.StatusAccepted || st2.CacheHit {
+		t.Fatalf("resubmit with new mix: code=%d cache_hit=%v, want 202 fresh run", code, st2.CacheHit)
+	}
+	got := waitState(t, s, st2.ID, StateDone)
+	if got.ResumedLevels != 1 {
+		t.Fatalf("second sweep resumed_levels = %d, want 1", got.ResumedLevels)
+	}
+	if ran := rec.executed(); !reflect.DeepEqual(ran, []float64{0, 1, 5}) {
+		t.Fatalf("executed levels %v, want [0 1 5] (level 1 exactly once)", ran)
+	}
+}
+
+// TestReplayAnswersRetired: after a clean shutdown, a restarted daemon
+// serves status and results of finished jobs without re-running
+// anything, and recovered results re-enter the cache in retirement
+// order under the byte budget (oldest evicted first).
+func TestReplayAnswersRetired(t *testing.T) {
+	dir := t.TempDir()
+	s1 := openDurable(t, dir, Options{Workers: 1}, func(s *Server) {
+		s.runFlow = func(rn *run) (*JobResult, error) { return stubResult(rn), nil }
+	})
+
+	var ids []string
+	var bodies [][]byte
+	for _, lvl := range []float64{3, 4, 6} {
+		body := jobBody(t, "acme", lvl)
+		_, st := postJob(t, s1, body)
+		waitState(t, s1, st.ID, StateDone)
+		ids = append(ids, st.ID)
+		bodies = append(bodies, body)
+	}
+	// Measure one result's cache cost (all three are the same shape).
+	_, res0 := getResult(t, s1, ids[0])
+	resBytes, err := json.Marshal(res0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shutdown(t, s1)
+
+	// Budget for two results: replay inserts in retirement order, so the
+	// OLDEST result (job 0) is the one the LRU evicts.
+	s2 := openDurable(t, dir, Options{Workers: 1, CacheBytes: int64(len(resBytes))*2 + 64}, func(s *Server) {
+		s.runFlow = func(rn *run) (*JobResult, error) { return stubResult(rn), nil }
+	})
+	defer shutdown(t, s2)
+
+	// All three jobs are queryable with their results, no flows run.
+	for _, id := range ids {
+		st := getStatus(t, s2, id)
+		if st.State != StateDone {
+			t.Fatalf("replayed job %s state = %s, want done", id, st.State)
+		}
+		code, res := getResult(t, s2, id)
+		if code != http.StatusOK || res.Table1 != "stub-table-1" {
+			t.Fatalf("replayed result %s: code=%d", id, code)
+		}
+	}
+	if n := s2.FlowRuns(); n != 0 {
+		t.Fatalf("replay ran %d flows, want 0", n)
+	}
+	if entries := s2.Stats().CacheEntries; entries != 2 {
+		t.Fatalf("recovered cache entries = %d, want 2 (budget holds two results)", entries)
+	}
+
+	// Newest results hit the cache; the evicted oldest re-runs.
+	codeNew, stNew := postJob(t, s2, bodies[2])
+	if codeNew != http.StatusOK || !stNew.CacheHit {
+		t.Fatalf("resubmit of newest retired job: code=%d cache_hit=%v, want 200 hit", codeNew, stNew.CacheHit)
+	}
+	codeOld, stOld := postJob(t, s2, bodies[0])
+	if codeOld != http.StatusAccepted || stOld.CacheHit {
+		t.Fatalf("resubmit of evicted oldest job: code=%d cache_hit=%v, want 202 fresh", codeOld, stOld.CacheHit)
+	}
+	waitState(t, s2, stOld.ID, StateDone)
+}
+
+// TestCacheHitJournalsNothing: a submission answered from the result
+// cache costs no flow and therefore appends no journal records at all —
+// there is nothing to recover.
+func TestCacheHitJournalsNothing(t *testing.T) {
+	s := openDurable(t, t.TempDir(), Options{Workers: 1}, func(s *Server) {
+		s.runFlow = func(rn *run) (*JobResult, error) { return stubResult(rn), nil }
+	})
+	defer shutdown(t, s)
+
+	body := jobBody(t, "acme", 8)
+	_, st := postJob(t, s, body)
+	waitState(t, s, st.ID, StateDone)
+
+	before := s.jrnl.Appends()
+	code, st2 := postJob(t, s, body)
+	if code != http.StatusOK || !st2.CacheHit {
+		t.Fatalf("resubmit: code=%d cache_hit=%v", code, st2.CacheHit)
+	}
+	if after := s.jrnl.Appends(); after != before {
+		t.Fatalf("cache-hit submission appended %d journal records, want 0", after-before)
+	}
+}
+
+// TestTransientRetrySucceeds: a level that panics on its first attempts
+// is retried with backoff and the job still finishes; retries surface
+// in the job status and the service counters.
+func TestTransientRetrySucceeds(t *testing.T) {
+	var attempts int
+	s := New(Options{Workers: 1, Retry: RetryPolicy{
+		MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond,
+	}})
+	defer shutdown(t, s)
+	s.runLevel = func(rn *run, base *netlist.Netlist, cfg flow.Config, pct float64) flow.LevelResult {
+		attempts++ // Workers:1 + one level: sequential, no lock needed
+		if attempts < 3 {
+			return flow.LevelResult{TPPercent: pct, Err: transientStageError(pct)}
+		}
+		return flow.LevelResult{TPPercent: pct, Metrics: stubMetrics(pct)}
+	}
+
+	_, st := postJob(t, s, jobBody(t, "acme", 7))
+	got := waitState(t, s, st.ID, StateDone)
+	if got.Retries != 2 {
+		t.Fatalf("status retries = %d, want 2", got.Retries)
+	}
+	stats := s.Stats()
+	if stats.Retries != 2 || stats.LevelsRun != 3 {
+		t.Fatalf("stats retries/levels_run = %d/%d, want 2/3", stats.Retries, stats.LevelsRun)
+	}
+	code, res := getResult(t, s, st.ID)
+	if code != http.StatusOK || !res.Complete {
+		t.Fatalf("retried job result: code=%d", code)
+	}
+}
+
+// TestPermanentFailureNeverRetries: a deterministic stage failure (not a
+// panic, not a deadline) runs exactly once — identical inputs would fail
+// identically, so retrying is waste.
+func TestPermanentFailureNeverRetries(t *testing.T) {
+	var attempts int
+	s := New(Options{Workers: 1, Retry: RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond}})
+	defer shutdown(t, s)
+	s.runLevel = func(rn *run, base *netlist.Netlist, cfg flow.Config, pct float64) flow.LevelResult {
+		attempts++
+		return flow.LevelResult{TPPercent: pct, Err: &flow.StageError{
+			Stage: flow.StagePlace, TPPercent: pct, Err: errors.New("utilization infeasible"),
+		}}
+	}
+
+	_, st := postJob(t, s, jobBody(t, "acme", 9))
+	got := waitState(t, s, st.ID, StateDone) // level errors mark the result incomplete
+	if attempts != 1 {
+		t.Fatalf("permanent failure ran %d attempts, want 1", attempts)
+	}
+	if got.Retries != 0 || s.Stats().Retries != 0 {
+		t.Fatalf("permanent failure counted retries: status=%d stats=%d", got.Retries, s.Stats().Retries)
+	}
+	_, res := getResult(t, s, st.ID)
+	if res.Complete || res.Levels[0].Error == "" {
+		t.Fatalf("permanent failure not surfaced per level: %+v", res.Levels)
+	}
+}
+
+// TestCancelAbortsBackoff: DELETE on a job sleeping out a retry backoff
+// cancels it immediately and frees the worker — the 30-second backoff
+// must not be served out.
+func TestCancelAbortsBackoff(t *testing.T) {
+	inBackoff := make(chan struct{})
+	s := New(Options{Workers: 1, Retry: RetryPolicy{
+		MaxAttempts: 3, BaseDelay: 30 * time.Second, MaxDelay: 30 * time.Second,
+	}})
+	defer shutdown(t, s)
+	var once sync.Once
+	s.runLevel = func(rn *run, base *netlist.Netlist, cfg flow.Config, pct float64) flow.LevelResult {
+		if pct == 1 {
+			once.Do(func() { close(inBackoff) })
+			return flow.LevelResult{TPPercent: pct, Err: transientStageError(pct)}
+		}
+		return flow.LevelResult{TPPercent: pct, Metrics: stubMetrics(pct)}
+	}
+
+	start := time.Now()
+	_, st := postJob(t, s, jobBody(t, "acme", 1))
+	<-inBackoff // the first attempt failed; the worker enters its 30s sleep
+	if code, _ := do(t, s, "DELETE", "/v1/jobs/"+st.ID, nil); code != http.StatusOK {
+		t.Fatalf("DELETE during backoff = %d", code)
+	}
+	waitState(t, s, st.ID, StateCanceled)
+
+	// The proof the sleep was aborted: the single worker runs a fresh job
+	// to completion long before the 30s backoff could have elapsed.
+	_, st2 := postJob(t, s, jobBody(t, "acme", 2))
+	waitState(t, s, st2.ID, StateDone)
+	if elapsed := time.Since(start); elapsed > 15*time.Second {
+		t.Fatalf("worker freed after %v; the backoff sleep was served out", elapsed)
+	}
+}
+
+// TestReadyzGatesReplay: while the journal replays, /healthz is 200
+// (liveness), /readyz is 503, and submissions bounce with 503; all flip
+// once replay completes.
+func TestReadyzGatesReplay(t *testing.T) {
+	gate := make(chan struct{})
+	s, err := Open(Options{Workers: 1, DataDir: t.TempDir(), journalNoSync: true, replayGate: gate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, s)
+
+	if code, _ := do(t, s, "GET", "/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz during replay = %d, want 200", code)
+	}
+	if code, body := do(t, s, "GET", "/readyz", nil); code != http.StatusServiceUnavailable ||
+		!strings.Contains(string(body), "replaying") {
+		t.Fatalf("readyz during replay = %d %s, want 503 replaying", code, body)
+	}
+	if code, _ := postJobCode(t, s, jobBody(t, "acme", 1)); code != http.StatusServiceUnavailable {
+		t.Fatalf("submit during replay = %d, want 503", code)
+	}
+
+	close(gate)
+	waitFor(t, func() bool { return s.Stats().Ready })
+	if code, _ := do(t, s, "GET", "/readyz", nil); code != http.StatusOK {
+		t.Fatalf("readyz after replay = %d, want 200", code)
+	}
+	s.runFlow = func(rn *run) (*JobResult, error) { return stubResult(rn), nil }
+	code, st := postJob(t, s, jobBody(t, "acme", 1))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit after replay = %d, want 202", code)
+	}
+	waitState(t, s, st.ID, StateDone)
+}
+
+// TestRetryAfterJitterBounds: every 429 carries a Retry-After of 1–4
+// seconds, jittered so a synchronized client fleet spreads its retries.
+func TestRetryAfterJitterBounds(t *testing.T) {
+	s := New(Options{Workers: 1, QueueDepth: 1})
+	defer shutdown(t, s)
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	s.runFlow = func(rn *run) (*JobResult, error) {
+		started <- struct{}{}
+		select {
+		case <-release:
+		case <-rn.ctx.Done():
+		}
+		return stubResult(rn), nil
+	}
+	defer close(release)
+
+	postJob(t, s, jobBody(t, "acme", 1)) // occupies the worker
+	<-started
+	postJob(t, s, jobBody(t, "acme", 2)) // fills the queue
+
+	for i := 0; i < 12; i++ {
+		req := httptest.NewRequest("POST", "/v1/jobs", strings.NewReader(string(jobBody(t, "acme", float64(3+i)))))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusTooManyRequests {
+			t.Fatalf("overflow submit %d = %d, want 429", i, rec.Code)
+		}
+		ra, err := strconv.Atoi(rec.Header().Get("Retry-After"))
+		if err != nil || ra < 1 || ra > 4 {
+			t.Fatalf("Retry-After = %q, want integer in [1,4]", rec.Header().Get("Retry-After"))
+		}
+	}
+}
+
+// TestJournalFaultsDegradeGracefully: when every journal append fails,
+// the daemon keeps serving — availability over durability — and counts
+// the failures.
+func TestJournalFaultsDegradeGracefully(t *testing.T) {
+	gate := make(chan struct{})
+	s, err := Open(Options{
+		Workers: 1, DataDir: t.TempDir(), journalNoSync: true, replayGate: gate,
+		journalHook: func(op journal.Op) error {
+			if op == journal.OpAppend {
+				return errors.New("disk on fire")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.runFlow = func(rn *run) (*JobResult, error) { return stubResult(rn), nil }
+	close(gate)
+	waitFor(t, func() bool { return s.Stats().Ready })
+	defer shutdown(t, s)
+
+	_, st := postJob(t, s, jobBody(t, "acme", 5))
+	waitState(t, s, st.ID, StateDone)
+	if code, _ := getResult(t, s, st.ID); code != http.StatusOK {
+		t.Fatalf("result with dead journal = %d, want 200", code)
+	}
+	if n := s.Stats().JournalErrors; n == 0 {
+		t.Fatal("journal append failures were not counted")
+	}
+}
+
+// TestSSEResumeWithLastEventID: an SSE client whose connection drops
+// reconnects with Last-Event-ID and resumes exactly where the stream
+// tore — no replayed and no skipped frames.
+func TestSSEResumeWithLastEventID(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer shutdown(t, s)
+
+	emitted := make(chan struct{})
+	release := make(chan struct{})
+	s.runFlow = func(rn *run) (*JobResult, error) {
+		// A balanced 8-event trace: root + three children.
+		tr := telemetry.New(rn.events)
+		root := tr.StartSpan("sweep", -1)
+		for _, pct := range []float64{0, 2, 5} {
+			root.ChildTP("level", pct).End()
+		}
+		root.End()
+		close(emitted)
+		select {
+		case <-release:
+		case <-rn.ctx.Done():
+			return nil, rn.ctx.Err()
+		}
+		return stubResult(rn), nil
+	}
+
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	_, st := postJob(t, s, jobBody(t, "acme", 0, 2, 5))
+	<-emitted
+
+	// First connection: read the first 4 frames, then drop.
+	frames1, _ := readSSEFrames(t, ts.URL+"/v1/jobs/"+st.ID+"/events", "", 4)
+	if len(frames1) != 4 {
+		t.Fatalf("first connection read %d frames, want 4", len(frames1))
+	}
+	for k, f := range frames1 {
+		if f.id != k {
+			t.Fatalf("frame %d carries id %d", k, f.id)
+		}
+	}
+
+	// Reconnect with Last-Event-ID: the stream must resume at frame 4.
+	close(release)
+	waitState(t, s, st.ID, StateDone)
+	frames2, done := readSSEFrames(t, ts.URL+"/v1/jobs/"+st.ID+"/events", strconv.Itoa(frames1[3].id), -1)
+	if len(frames2) != 4 {
+		t.Fatalf("resumed connection read %d frames, want 4 (ids 4..7): %+v", len(frames2), frames2)
+	}
+	for k, f := range frames2 {
+		if f.id != 4+k {
+			t.Fatalf("resumed frame %d carries id %d, want %d", k, f.id, 4+k)
+		}
+	}
+	if done == "" {
+		t.Fatal("resumed stream ended without a done frame")
+	}
+	var final JobStatus
+	if err := json.Unmarshal([]byte(done), &final); err != nil || final.State != StateDone {
+		t.Fatalf("done frame: %v %s", err, done)
+	}
+	// The union of both connections is the complete stream.
+	var ndjson strings.Builder
+	for _, f := range append(frames1, frames2...) {
+		ndjson.WriteString(f.data)
+		ndjson.WriteByte('\n')
+	}
+	if n := strings.Count(ndjson.String(), "\n"); n != 8 {
+		t.Fatalf("stitched stream has %d events, want 8", n)
+	}
+}
+
+type sseFrame struct {
+	id   int
+	data string
+}
+
+// readSSEFrames reads data frames (with their SSE ids) from an events
+// stream, optionally sending Last-Event-ID. maxFrames > 0 drops the
+// connection after that many frames (simulating a network tear);
+// maxFrames < 0 reads to EOF and also returns the done-frame payload.
+func readSSEFrames(t *testing.T, url, lastEventID string, maxFrames int) ([]sseFrame, string) {
+	t.Helper()
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events = %d", resp.StatusCode)
+	}
+
+	var frames []sseFrame
+	var doneFrame string
+	id, inDone := -1, false
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "event: done":
+			inDone = true
+		case strings.HasPrefix(line, "id: "):
+			if n, err := strconv.Atoi(strings.TrimPrefix(line, "id: ")); err == nil {
+				id = n
+			}
+		case strings.HasPrefix(line, "data: "):
+			if inDone {
+				doneFrame = strings.TrimPrefix(line, "data: ")
+			} else {
+				frames = append(frames, sseFrame{id: id, data: strings.TrimPrefix(line, "data: ")})
+				if maxFrames > 0 && len(frames) >= maxFrames {
+					return frames, "" // tear the connection here
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading SSE stream: %v", err)
+	}
+	return frames, doneFrame
+}

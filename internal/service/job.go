@@ -13,6 +13,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 
@@ -94,6 +95,9 @@ type compiled struct {
 	cfg       flow.Config
 	levels    []float64
 	key       string
+	baseKey   string // level-independent address: checkpoint key prefix
+	bench     string // canonical .bench text (journal accepted records)
+	preset    string // resolved experiment preset (pinned for replay)
 	cacheable bool
 	workers   int // requested per-flow workers (0 = server default)
 }
@@ -171,13 +175,26 @@ func compileRequest(req *JobRequest) (*compiled, error) {
 		return nil, badRequest("%v", err)
 	}
 
-	key, err := canonicalKey(design, &cfg, c.levels, fc.ATPGBudgetMS)
-	if err != nil {
-		return nil, fmt.Errorf("service: hashing request: %w", err)
+	var bench bytes.Buffer
+	if err := circuitgen.WriteBench(&bench, design); err != nil {
+		return nil, fmt.Errorf("service: canonicalizing circuit: %w", err)
 	}
-	c.key = key
+	c.bench = bench.String()
+	c.preset = preset
+	c.key = keyFromBench(c.bench, &cfg, c.levels, fc.ATPGBudgetMS)
+	// The base key drops the level list and budget: every level of every
+	// sweep over the same circuit+config shares one checkpoint namespace,
+	// so a resubmission with a different level mix still resumes the
+	// levels it has in common with earlier runs.
+	c.baseKey = keyFromBench(c.bench, &cfg, nil, 0)
 	c.cacheable = fc.ATPGBudgetMS == 0
 	return c, nil
+}
+
+// levelKey addresses one checkpointed level: the level-independent base
+// key plus the TP percentage.
+func levelKey(baseKey string, pct float64) string {
+	return baseKey + "/tp" + strconv.FormatFloat(pct, 'g', -1, 64)
 }
 
 // buildDesign parses or generates the request's circuit, returning the
@@ -258,6 +275,11 @@ func canonicalKey(design *netlist.Netlist, cfg *flow.Config, levels []float64, b
 	if err := circuitgen.WriteBench(&bench, design); err != nil {
 		return "", err
 	}
+	return keyFromBench(bench.String(), cfg, levels, budgetMS), nil
+}
+
+// keyFromBench is canonicalKey over an already-canonicalized bench text.
+func keyFromBench(bench string, cfg *flow.Config, levels []float64, budgetMS int64) string {
 	hc := hashedConfig{
 		MaxChains:         cfg.Scan.MaxChains,
 		MaxChainLength:    cfg.Scan.MaxChainLength,
@@ -268,16 +290,13 @@ func canonicalKey(design *netlist.Netlist, cfg *flow.Config, levels []float64, b
 		ATPGBudgetMS:      budgetMS,
 		TPLevels:          levels,
 	}
-	cfgJSON, err := json.Marshal(hc)
-	if err != nil {
-		return "", err
-	}
+	cfgJSON, _ := json.Marshal(hc) // fixed field set: cannot fail
 	h := sha256.New()
 	h.Write([]byte("tpid/v1/circuit\n"))
-	h.Write(bench.Bytes())
+	h.Write([]byte(bench))
 	h.Write([]byte("\x00tpid/v1/config\n"))
 	h.Write(cfgJSON)
-	return hex.EncodeToString(h.Sum(nil)), nil
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // atpgDeadline converts a request's relative budget into the absolute

@@ -1,0 +1,103 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+
+	"tpilayout/internal/supervise"
+)
+
+// RetryPolicy governs per-level retries of transient failures. A level
+// that panics (isolated to a *StageError wrapping supervise.PanicError)
+// or exceeds its ATPG deadline is retried with full-jitter exponential
+// backoff; validation errors and cancellations never retry.
+type RetryPolicy struct {
+	// MaxAttempts bounds how many times one level may run, counting the
+	// first attempt (default 3; 1 disables retries).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 100ms);
+	// it doubles per attempt up to MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth (default 5s).
+	MaxDelay time.Duration
+	// Jitter enables full jitter: each sleep is uniform in (0, delay]
+	// so retrying levels do not stampede in lockstep.
+	Jitter bool
+	// JobBudget caps the TOTAL retries across all levels of one run
+	// (default 8): a job whose every level keeps crashing fails after
+	// JobBudget extra attempts instead of grinding the pool forever.
+	JobBudget int
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 5 * time.Second
+	}
+	if p.JobBudget <= 0 {
+		p.JobBudget = 8
+	}
+	return p
+}
+
+// backoff returns the sleep before retry number retry (1-based).
+func (p RetryPolicy) backoff(retry int) time.Duration {
+	d := p.BaseDelay
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if d >= p.MaxDelay {
+			d = p.MaxDelay
+			break
+		}
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if p.Jitter && d > 0 {
+		d = time.Duration(1 + rand.Int63n(int64(d)))
+	}
+	return d
+}
+
+// transientError reports whether a level failure is worth retrying:
+// an isolated panic or an expired deadline, but never a cancellation
+// (the client is gone) or a deterministic validation/stage failure
+// (identical inputs would fail identically).
+func transientError(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var pe *supervise.PanicError
+	return errors.As(err, &pe)
+}
+
+// sleepCtx sleeps for d or until ctx is canceled, whichever comes
+// first; it reports whether the full sleep elapsed. This is what makes
+// DELETE on a job in backoff free its worker immediately: the run's
+// context cancels and the timer is abandoned.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

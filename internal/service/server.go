@@ -7,13 +7,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	mrand "math/rand"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"tpilayout/internal/flow"
+	"tpilayout/internal/journal"
 	"tpilayout/internal/netlist"
 	"tpilayout/internal/telemetry"
 )
@@ -39,6 +42,7 @@ func (s State) terminal() bool {
 // cancelled job as long as any other job still wants its result.
 type run struct {
 	key       string
+	baseKey   string // level-independent content address (checkpoint keys)
 	cacheable bool
 	tenant    string // queue bucket: the first submitter's tenant
 	designN   *netlist.Netlist
@@ -51,6 +55,10 @@ type run struct {
 	cancel    context.CancelFunc
 
 	enqueued time.Time
+
+	retryBudget   atomic.Int64 // remaining per-job retry tokens
+	retries       atomic.Int64 // retries spent so far
+	resumedLevels atomic.Int64 // levels answered from checkpoints
 
 	// All below guarded by Server.mu. An empty jobs list means nobody
 	// wants the result anymore and the run may be dropped/cancelled.
@@ -68,15 +76,18 @@ type Job struct {
 	Circuit string
 
 	// All below guarded by Server.mu.
-	state    State
-	cacheHit bool
-	coalesce bool // attached to an already-inflight run
-	run      *run // nil once terminal via cache hit
-	errMsg   string
-	result   *JobResult
-	created  time.Time
-	started  time.Time
-	finished time.Time
+	state     State
+	cacheHit  bool
+	coalesce  bool // attached to an already-inflight run
+	run       *run // nil once terminal via cache hit
+	errMsg    string
+	result    *JobResult
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+	journaled bool         // an accepted record exists for this job
+	cacheable bool         // result eligible for cache + checkpoints
+	accepted  *recAccepted // replayable request (journaled jobs only)
 }
 
 // LevelStatus is the per-level outcome inside a JobResult.
@@ -114,11 +125,16 @@ type JobStatus struct {
 	CacheHit bool      `json:"cache_hit,omitempty"`
 	// Coalesced reports that this submission attached to an already
 	// in-flight identical run instead of starting its own flow.
-	Coalesced  bool   `json:"coalesced,omitempty"`
-	Error      string `json:"error,omitempty"`
-	CreatedAt  string `json:"created_at"`
-	StartedAt  string `json:"started_at,omitempty"`
-	FinishedAt string `json:"finished_at,omitempty"`
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Retries counts backoff-retried level attempts of this job's run;
+	// ResumedLevels counts levels answered from durable checkpoints
+	// instead of being re-executed.
+	Retries       int64  `json:"retries,omitempty"`
+	ResumedLevels int64  `json:"resumed_levels,omitempty"`
+	Error         string `json:"error,omitempty"`
+	CreatedAt     string `json:"created_at"`
+	StartedAt     string `json:"started_at,omitempty"`
+	FinishedAt    string `json:"finished_at,omitempty"`
 }
 
 // Stats is the live operational counter set (GET /v1/stats and the
@@ -136,6 +152,13 @@ type Stats struct {
 	CacheHits    int64 `json:"cache_hits"`
 	CacheMisses  int64 `json:"cache_misses"`
 	Draining     bool  `json:"draining"`
+	// Durability counters (zero for in-memory servers).
+	Ready         bool  `json:"ready"`
+	Retries       int64 `json:"retries"`
+	LevelsRun     int64 `json:"levels_run"`
+	LevelsResumed int64 `json:"levels_resumed"`
+	ReplayedJobs  int64 `json:"replayed_jobs"`
+	JournalErrors int64 `json:"journal_errors"`
 }
 
 // Options configures a Server.
@@ -167,6 +190,26 @@ type Options struct {
 	// Flush, when non-nil, is called at the end of Shutdown so the
 	// daemon can flush file-backed telemetry sinks before exit.
 	Flush func() error
+	// DataDir, when set, makes the server durable: job-state transitions
+	// are journaled there (fsync'd, CRC-framed, segment-rotated) and a
+	// restart on the same directory replays retired results, level
+	// checkpoints, and unfinished jobs. Empty = purely in-memory.
+	DataDir string
+	// Retry governs per-level retries of transient failures (panics,
+	// deadlines); zero fields take the RetryPolicy defaults.
+	Retry RetryPolicy
+	// JournalCompactBytes triggers snapshot compaction once the live
+	// journal segments exceed it (default 4 MiB).
+	JournalCompactBytes int64
+	// JournalSegmentBytes is the journal's segment-rotation threshold
+	// (default: the journal package's 4 MiB).
+	JournalSegmentBytes int64
+
+	// Test hooks (same-package tests only).
+	journalNoSync bool                    // skip per-append fsync
+	journalHook   func(journal.Op) error  // fault injection into the journal
+	stageHook     func(string, float64)   // fault injection into flow stages
+	replayGate    chan struct{}           // replay blocks until closed (readyz tests)
 }
 
 func (o *Options) withDefaults() Options {
@@ -189,6 +232,10 @@ func (o *Options) withDefaults() Options {
 	if out.RetainJobs <= 0 {
 		out.RetainJobs = 512
 	}
+	if out.JournalCompactBytes <= 0 {
+		out.JournalCompactBytes = 4 << 20
+	}
+	out.Retry = out.Retry.withDefaults()
 	return out
 }
 
@@ -218,17 +265,51 @@ type Server struct {
 	jobsCanceled atomic.Int64
 	rejected     atomic.Int64
 
+	// Durability state. jrnl is nil for in-memory servers; dead makes
+	// every journal write a no-op (Kill — crash simulation); ready gates
+	// submissions and /readyz until journal replay finishes.
+	jrnl          *journal.Journal
+	checkpoints   *checkpointStore // guarded by mu
+	dead          atomic.Bool
+	ready         atomic.Bool
+	compacting    atomic.Bool
+	replayWG      sync.WaitGroup
+	retries       atomic.Int64
+	levelsRun     atomic.Int64
+	levelsResumed atomic.Int64
+	replayedJobs  atomic.Int64
+	journalErrors atomic.Int64
+
 	// runFlow executes one run and returns its result; tests replace it
 	// with a stub to exercise queueing/fairness/shutdown without paying
-	// for real layouts.
-	runFlow func(r *run) (*JobResult, error)
+	// for real layouts. runLevel executes ONE level inside the real
+	// checkpoint/retry driver; chaos tests replace it to inject level
+	// failures while the driver itself stays under test.
+	runFlow  func(r *run) (*JobResult, error)
+	runLevel func(rn *run, base *netlist.Netlist, cfg flow.Config, pct float64) flow.LevelResult
 
 	shutdownCh chan struct{}
 	shutdownMu sync.Mutex
 }
 
-// New starts a Server and its worker pool. Call Shutdown to stop it.
+// New starts an in-memory Server and its worker pool. Call Shutdown to
+// stop it. New panics on errors, which only the durable (DataDir) path
+// can produce — durable callers should use Open.
 func New(opt Options) *Server {
+	s, err := Open(opt)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open starts a Server, replaying the DataDir journal when one is
+// configured: retired jobs become queryable again, complete results
+// repopulate the cache, level checkpoints repopulate the resume store,
+// and unfinished jobs are re-enqueued. Replay runs asynchronously —
+// the server answers /healthz immediately but holds /readyz (and
+// rejects submissions with 503) until replay completes.
+func Open(opt Options) (*Server, error) {
 	s := &Server{
 		opt:        opt.withDefaults(),
 		jobs:       map[string]*Job{},
@@ -238,7 +319,27 @@ func New(opt Options) *Server {
 	}
 	s.queue = newFairQueue(s.opt.QueueDepth)
 	s.cache = newResultCache(s.opt.CacheBytes)
+	s.checkpoints = newCheckpointStore(0)
 	s.runFlow = s.sweepRun
+	s.runLevel = func(rn *run, base *netlist.Netlist, cfg flow.Config, pct float64) flow.LevelResult {
+		return flow.RunLevel(rn.ctx, base, cfg, pct)
+	}
+
+	if s.opt.DataDir != "" {
+		j, recs, err := journal.Open(s.opt.DataDir, journal.Options{
+			SegmentBytes: s.opt.JournalSegmentBytes,
+			NoSync:       s.opt.journalNoSync,
+			Hook:         s.opt.journalHook,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.jrnl = j
+		s.replayWG.Add(1)
+		go s.replay(foldRecords(recs))
+	} else {
+		s.ready.Store(true)
+	}
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -248,12 +349,13 @@ func New(opt Options) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 
 	s.workersWG.Add(s.opt.Workers)
 	for i := 0; i < s.opt.Workers; i++ {
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
@@ -280,6 +382,13 @@ func (s *Server) Stats() Stats {
 		CacheHits:    hits,
 		CacheMisses:  misses,
 		Draining:     s.draining.Load(),
+
+		Ready:         s.ready.Load(),
+		Retries:       s.retries.Load(),
+		LevelsRun:     s.levelsRun.Load(),
+		LevelsResumed: s.levelsResumed.Load(),
+		ReplayedJobs:  s.replayedJobs.Load(),
+		JournalErrors: s.journalErrors.Load(),
 	}
 }
 
@@ -289,6 +398,10 @@ func (s *Server) Stats() Stats {
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, "server is draining, not accepting jobs")
+		return
+	}
+	if !s.ready.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is replaying its journal, not ready yet")
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, s.opt.MaxBodyBytes)
@@ -343,6 +456,43 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Fast-fail an obviously full queue before paying a journal fsync for
+	// a job that will bounce with 429 anyway (the race with Push below is
+	// compensated by a canceled record).
+	if s.jrnl != nil {
+		s.mu.Lock()
+		_, coalescible := s.inflight[comp.key]
+		full := s.queue.Len() >= s.opt.QueueDepth
+		s.mu.Unlock()
+		if full && !(comp.cacheable && coalescible) {
+			s.reject429(w)
+			return
+		}
+	}
+
+	// Journal acceptance BEFORE the job becomes reachable: an accepted
+	// record always precedes any terminal record for the same job, so
+	// replay can never see a retirement of an unknown job.
+	if s.jrnl != nil {
+		rec := &recAccepted{
+			JobID:    job.ID,
+			Tenant:   comp.tenant,
+			Name:     comp.design.Name,
+			Bench:    comp.bench,
+			TPLevels: comp.levels,
+			Flow:     req.Flow,
+			Created:  job.created,
+		}
+		// Pin the resolved preset: a spec-submitted circuit replays from
+		// its canonical bench text, which must not fall back to the
+		// default preset.
+		rec.Flow.Experiment = comp.preset
+		s.appendRecord(journal.TypeAccepted, rec)
+		job.journaled = true
+		job.accepted = rec
+	}
+	job.cacheable = comp.cacheable
+
 	s.mu.Lock()
 	if comp.cacheable {
 		// Singleflight: an identical run already queued or running absorbs
@@ -369,42 +519,35 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			job.result = res
 			job.started = job.created
 			job.finished = time.Now()
+			journaled := job.journaled
 			s.rememberJobLocked(job)
 			s.mu.Unlock()
 			s.jobsDone.Add(1)
+			if journaled {
+				// The accepted record exists; balance it so replay does
+				// not resurrect an already-answered job.
+				s.appendRecord(journal.TypeRetired, &recRetired{
+					JobIDs: []string{job.ID}, State: StateDone, CacheKey: comp.key,
+					Cacheable: true, Result: res, Finished: time.Now(),
+				})
+			}
 			s.emitMetric(map[string]int64{"service.jobs_done": 1, "service.cache_hit_jobs": 1}, nil, nil)
 			s.writeStatus(w, http.StatusOK, job)
 			return
 		}
 	}
 
-	ctx, cancel := context.WithCancel(context.Background())
-	rn := &run{
-		key:       comp.key,
-		cacheable: comp.cacheable,
-		tenant:    comp.tenant,
-		cfg:       comp.cfg,
-		levels:    comp.levels,
-		workers:   comp.workers,
-		budgetMS:  req.Flow.ATPGBudgetMS,
-		events:    newBroadcaster(),
-		ctx:       ctx,
-		cancel:    cancel,
-		enqueued:  time.Now(),
-		jobs:      []*Job{job},
-	}
-	rn.designN = comp.design
-	job.run = rn
-	job.state = StateQueued
-
+	rn := s.newRun(comp, req.Flow.ATPGBudgetMS, job)
 	if err := s.queue.Push(rn); err != nil {
+		journaled := job.journaled
 		s.mu.Unlock()
-		cancel()
+		rn.cancel()
+		if journaled {
+			// Compensate the accepted record: this job never ran.
+			s.appendRecord(journal.TypeCanceled, &recCanceled{JobID: job.ID, Finished: time.Now()})
+		}
 		if errors.Is(err, ErrQueueFull) {
-			s.rejected.Add(1)
-			s.emitMetric(map[string]int64{"service.rejected_429": 1}, nil, nil)
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, "job queue full (%d queued), retry later", s.opt.QueueDepth)
+			s.reject429(w)
 		} else {
 			writeError(w, http.StatusServiceUnavailable, "server is draining, not accepting jobs")
 		}
@@ -421,6 +564,41 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.emitMetric(map[string]int64{"service.jobs_submitted": 1},
 		map[string]float64{"service.queue_depth": float64(depth)}, nil)
 	s.writeStatus(w, http.StatusAccepted, job)
+}
+
+// reject429 answers an over-capacity submission. Retry-After carries
+// jitter (1–4s) so a synchronized client fleet does not retry in
+// lockstep and re-saturate the queue at the same instant.
+func (s *Server) reject429(w http.ResponseWriter) {
+	s.rejected.Add(1)
+	s.emitMetric(map[string]int64{"service.rejected_429": 1}, nil, nil)
+	w.Header().Set("Retry-After", strconv.Itoa(1+mrand.Intn(4)))
+	writeError(w, http.StatusTooManyRequests, "job queue full (%d queued), retry later", s.opt.QueueDepth)
+}
+
+// newRun builds the run for a freshly admitted (or replayed) job.
+func (s *Server) newRun(comp *compiled, budgetMS int64, job *Job) *run {
+	ctx, cancel := context.WithCancel(context.Background())
+	rn := &run{
+		key:       comp.key,
+		baseKey:   comp.baseKey,
+		cacheable: comp.cacheable,
+		tenant:    comp.tenant,
+		designN:   comp.design,
+		cfg:       comp.cfg,
+		levels:    comp.levels,
+		workers:   comp.workers,
+		budgetMS:  budgetMS,
+		events:    newBroadcaster(),
+		ctx:       ctx,
+		cancel:    cancel,
+		enqueued:  time.Now(),
+		jobs:      []*Job{job},
+	}
+	rn.retryBudget.Store(int64(s.opt.Retry.JobBudget))
+	job.run = rn
+	job.state = StateQueued
+	return rn
 }
 
 func (s *Server) newJobID() string {
@@ -502,7 +680,8 @@ func (s *Server) execute(rn *run) {
 }
 
 // sweepRun is the production runFlow: the supervised partial sweep with
-// the run's broadcaster (SSE) and the server's /metrics sink attached.
+// the run's broadcaster (SSE) and the server's /metrics sink attached,
+// executed level by level through the checkpoint/retry driver.
 func (s *Server) sweepRun(rn *run) (*JobResult, error) {
 	sinks := []telemetry.Sink{rn.events}
 	if s.opt.Metrics != nil {
@@ -517,9 +696,12 @@ func (s *Server) sweepRun(rn *run) (*JobResult, error) {
 		cfg.Workers = s.opt.FlowWorkers
 	}
 	cfg.Deadline = atpgDeadline(rn.budgetMS, time.Now())
+	if s.opt.stageHook != nil {
+		cfg.StageHook = s.opt.stageHook
+	}
 
 	start := time.Now()
-	levels, err := flow.SweepPartial(rn.ctx, rn.designN, cfg, rn.levels)
+	levels, err := s.runLevels(rn, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -553,6 +735,124 @@ func (s *Server) sweepRun(rn *run) (*JobResult, error) {
 	return res, nil
 }
 
+// runLevels is the resumable, retrying replacement for a monolithic
+// SweepPartial call: levels with a durable checkpoint are answered from
+// the store without running a flow, the rest execute on a bounded
+// worker pool with per-level retry (transient failures only) under the
+// run's retry budget, and every freshly completed level is checkpointed
+// the moment it finishes — so a crash loses at most the levels still in
+// flight. The stitched result is bit-identical to an uninterrupted
+// sweep because checkpointed Metrics round-trip exactly through JSON.
+func (s *Server) runLevels(rn *run, cfg flow.Config) ([]flow.LevelResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]flow.LevelResult, len(rn.levels))
+	var missing []int
+	s.mu.Lock()
+	for i, pct := range rn.levels {
+		out[i].TPPercent = pct
+		// Budget-truncated sweeps depend on wall-clock speed: they are
+		// neither cached nor checkpointed nor resumed.
+		if rn.cacheable {
+			if m, ok := s.checkpoints.get(levelKey(rn.baseKey, pct)); ok {
+				out[i].Metrics = m
+				continue
+			}
+		}
+		missing = append(missing, i)
+	}
+	s.mu.Unlock()
+	if resumed := int64(len(rn.levels) - len(missing)); resumed > 0 {
+		rn.resumedLevels.Add(resumed)
+		s.levelsResumed.Add(resumed)
+		s.emitMetric(map[string]int64{"service.levels_resumed": resumed}, nil, nil)
+	}
+	if len(missing) == 0 {
+		return out, nil
+	}
+
+	var sweepSpan *telemetry.Span
+	if cfg.TelemetrySpan != nil {
+		sweepSpan = cfg.TelemetrySpan.ChildTP(flow.StageSweep, -1)
+	} else {
+		sweepSpan = cfg.Telemetry.StartSpan(flow.StageSweep, -1)
+	}
+	defer sweepSpan.End()
+	base := flow.PrewarmBase(rn.designN)
+
+	runOne := func(i int) {
+		pct := rn.levels[i]
+		lcfg := cfg
+		lcfg.TelemetrySpan = sweepSpan
+		for attempt := 1; ; attempt++ {
+			lr := s.runLevel(rn, base, lcfg, pct)
+			s.levelsRun.Add(1)
+			s.emitMetric(map[string]int64{"service.levels_run": 1}, nil, nil)
+			out[i] = lr
+			if lr.Err == nil {
+				if rn.cacheable && !lr.Metrics.Truncated {
+					rec := recLevelDone{
+						Key: levelKey(rn.baseKey, pct), TPPercent: pct, Metrics: lr.Metrics,
+					}
+					s.mu.Lock()
+					s.checkpoints.put(rec)
+					s.mu.Unlock()
+					s.appendRecord(journal.TypeLevelDone, &rec)
+				}
+				return
+			}
+			// Permanent failures, cancellations, exhausted attempts, and
+			// an exhausted per-job budget all surface the error as-is.
+			if rn.ctx.Err() != nil || !transientError(lr.Err) || attempt >= s.opt.Retry.MaxAttempts {
+				return
+			}
+			if rn.retryBudget.Add(-1) < 0 {
+				return
+			}
+			rn.retries.Add(1)
+			s.retries.Add(1)
+			s.emitMetric(map[string]int64{"service.retries": 1}, nil, nil)
+			// Context-aware backoff: a DELETE that cancels the run aborts
+			// this sleep immediately and frees the worker.
+			if !sleepCtx(rn.ctx, s.opt.Retry.backoff(attempt)) {
+				return
+			}
+		}
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(missing) {
+		workers = len(missing)
+	}
+	if workers <= 1 {
+		for _, i := range missing {
+			runOne(i)
+		}
+		return out, nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= len(missing) {
+					return
+				}
+				runOne(missing[k])
+			}
+		}()
+	}
+	wg.Wait()
+	return out, nil
+}
+
 // finishRun delivers a finished run to every attached job, feeds the
 // cache, and tears the run down.
 func (s *Server) finishRun(rn *run, res *JobResult, err error) {
@@ -573,6 +873,7 @@ func (s *Server) finishRun(rn *run, res *JobResult, err error) {
 	jobs := rn.jobs
 	rn.jobs = nil
 	var done, failed, cancl int64
+	var journaledIDs []string
 	for _, j := range jobs {
 		j.finished = now
 		switch {
@@ -594,8 +895,36 @@ func (s *Server) finishRun(rn *run, res *JobResult, err error) {
 		case StateCanceled:
 			cancl++
 		}
+		if j.journaled {
+			journaledIDs = append(journaledIDs, j.ID)
+		}
 	}
 	s.mu.Unlock()
+
+	// Journal the retirement of every journaled job the run carried.
+	// Crash semantics: a SIGKILL before this append leaves the jobs
+	// pending, so the restarted daemon re-runs them (cheaply, from
+	// their level checkpoints); a clean drain that cancels queued jobs
+	// lands here too and retires them durably as canceled.
+	if len(journaledIDs) > 0 {
+		rr := &recRetired{
+			JobIDs: journaledIDs, CacheKey: rn.key,
+			Cacheable: rn.cacheable, Finished: now,
+		}
+		switch {
+		case canceled:
+			rr.State = StateCanceled
+			rr.Error = "run canceled"
+		case err != nil:
+			rr.State = StateFailed
+			rr.Error = err.Error()
+		default:
+			rr.State = StateDone
+			rr.Result = res
+		}
+		s.appendRecord(journal.TypeRetired, rr)
+		s.maybeCompact()
+	}
 
 	s.jobsDone.Add(done)
 	s.jobsFailed.Add(failed)
@@ -671,6 +1000,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	job.state = StateCanceled
 	job.errMsg = "canceled by client"
 	job.finished = time.Now()
+	journaled := job.journaled
 	rn := job.run
 	var lastWaiter bool
 	if rn != nil {
@@ -691,9 +1021,13 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 	s.jobsCanceled.Add(1)
 	s.emitMetric(map[string]int64{"service.jobs_canceled": 1}, nil, nil)
+	if journaled {
+		s.appendRecord(journal.TypeCanceled, &recCanceled{JobID: job.ID, Finished: time.Now()})
+	}
 	if lastWaiter {
 		// Nobody else wants this run: take it off the queue if still
-		// there, abort the flow if running, close the event stream.
+		// there, abort the flow if running (including a retry backoff
+		// sleep, which selects on this context), close the event stream.
 		s.queue.Remove(rn)
 		rn.cancel()
 		rn.events.Close()
@@ -724,22 +1058,30 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 
 	if rn != nil {
-		// Stream the retained trace from the beginning, then follow live
-		// until the run closes or the client goes away.
+		// Stream the retained trace, then follow live until the run
+		// closes or the client goes away. Every frame carries its event
+		// index as the SSE id, so a reconnecting client that sends
+		// Last-Event-ID resumes exactly where its stream tore instead of
+		// replaying from 0.
+		i := 0
+		if last := r.Header.Get("Last-Event-ID"); last != "" {
+			if n, err := strconv.Atoi(last); err == nil && n >= 0 {
+				i = n + 1
+			}
+		}
 		stop := context.AfterFunc(r.Context(), rn.events.wake)
 		defer stop()
-		i := 0
 		for {
 			tail, ok := rn.events.next(r.Context(), i)
 			if !ok {
 				break
 			}
-			for _, e := range tail {
+			for k, e := range tail {
 				line, err := json.Marshal(e)
 				if err != nil {
 					continue
 				}
-				if _, err := fmt.Fprintf(w, "data: %s\n\n", line); err != nil {
+				if _, err := fmt.Fprintf(w, "id: %d\ndata: %s\n\n", i+k, line); err != nil {
 					return // client disconnected
 				}
 			}
@@ -766,12 +1108,26 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
+// handleHealth is pure liveness: the process is up and serving HTTP.
+// It stays 200 through journal replay AND through a drain — restarting
+// a draining daemon because its health check went red would turn every
+// graceful shutdown into a crash loop. Readiness is /readyz.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, "draining")
-		return
-	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReady is readiness: whether this daemon should receive traffic.
+// Not ready while replaying the journal (startup) or draining
+// (shutdown) — load balancers steer new work elsewhere in both windows.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.draining.Load():
+		writeError(w, http.StatusServiceUnavailable, "draining")
+	case !s.ready.Load():
+		writeError(w, http.StatusServiceUnavailable, "replaying journal")
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -792,6 +1148,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	default:
 	}
 	s.draining.Store(true)
+	// Let a still-running journal replay finish re-admitting jobs before
+	// the queue closes underneath it (its re-admissions are then drained
+	// like any other queued job, and stay pending in the journal).
+	s.replayWG.Wait()
 
 	// Cancel everything still queued: drain means "finish what is
 	// running", not "work the whole backlog".
@@ -821,6 +1181,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 
 	close(s.shutdownCh)
+	if s.jrnl != nil {
+		s.jrnl.Close()
+	}
 	if s.opt.Flush != nil {
 		if ferr := s.opt.Flush(); ferr != nil && err == nil {
 			err = ferr
@@ -858,6 +1221,10 @@ func (s *Server) statusLocked(job *Job) JobStatus {
 		Coalesced: job.coalesce,
 		Error:     job.errMsg,
 		CreatedAt: job.created.UTC().Format(time.RFC3339Nano),
+	}
+	if job.run != nil {
+		st.Retries = job.run.retries.Load()
+		st.ResumedLevels = job.run.resumedLevels.Load()
 	}
 	if !job.started.IsZero() {
 		st.StartedAt = job.started.UTC().Format(time.RFC3339Nano)

@@ -42,10 +42,14 @@ func TestShutdownDrains(t *testing.T) {
 		done <- s.Shutdown(ctx)
 	}()
 
-	// Draining: health is 503 and new submissions bounce with 503.
+	// Draining: liveness stays 200 (the process is healthy, just
+	// stopping), readiness goes 503, and new submissions bounce with 503.
 	waitFor(t, func() bool { return s.Stats().Draining })
-	if code, _ := do(t, s, "GET", "/healthz", nil); code != http.StatusServiceUnavailable {
-		t.Fatalf("healthz while draining = %d, want 503", code)
+	if code, _ := do(t, s, "GET", "/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz while draining = %d, want 200 (liveness)", code)
+	}
+	if code, _ := do(t, s, "GET", "/readyz", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining = %d, want 503", code)
 	}
 	if code, _ := postJobCode(t, s, jobBody(t, "acme", 3)); code != http.StatusServiceUnavailable {
 		t.Fatalf("submit while draining = %d, want 503", code)
