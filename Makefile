@@ -1,14 +1,16 @@
 # Convenience targets; everything is plain `go` underneath.
 
-BENCH_PATTERN ?= BenchmarkTable1_|BenchmarkTable2_S38417|BenchmarkTable3_S38417|BenchmarkSweepSerial|BenchmarkSweepParallel
+BENCH_PATTERN ?= BenchmarkTable1_|BenchmarkTable2_S38417|BenchmarkTable3_S38417|BenchmarkSweepSerial|BenchmarkSweepParallel|BenchmarkSweepIncremental_
 BENCH_SECTION ?= current
-BENCH_OUT     ?= BENCH_PR3.json
+BENCH_OUT     ?= BENCH_PR8.json
 
 TRACE_OUT ?= trace.ndjson
 TRACE_BASELINE ?= trace_baseline.ndjson
+TRACE_INCR_OUT ?= trace_incr.ndjson
+TRACE_INCR_BASELINE ?= trace_incr_baseline.ndjson
 MAX_REGRESS ?= 25
 
-.PHONY: test race bench bench-json bench-smoke trace-smoke trace-diff metrics-smoke service-smoke crash-smoke chaos
+.PHONY: test race bench bench-json bench-smoke trace-smoke trace-diff trace-incr-smoke trace-incr-diff metrics-smoke service-smoke crash-smoke chaos
 
 test:
 	go build ./... && go vet ./... && go test ./...
@@ -28,10 +30,12 @@ bench-json:
 		| tee /dev/stderr \
 		| go run ./cmd/benchjson -out $(BENCH_OUT) -section $(BENCH_SECTION)
 
-# bench-smoke is the CI gate: one iteration of the full-circuit Table 1
-# benchmark, race detector off, failing on any panic.
+# bench-smoke is the CI gate: one iteration of the Table 1 benchmark,
+# race detector off, failing on any panic. -short keeps it under the CI
+# budget by skipping the slow circuits (DSPCore is ~85 s/op at default
+# scale); the full set stays behind `make bench`.
 bench-smoke:
-	go test -run xxx -bench BenchmarkTable1 -benchtime=1x -benchmem .
+	go test -short -run xxx -bench BenchmarkTable1 -benchtime=1x -benchmem .
 
 # trace-smoke is the observability CI gate: one traced s38417 run at
 # reduced scale, then tracestat over the trace — which exits non-zero if
@@ -47,6 +51,23 @@ trace-smoke:
 # regressed stage and TP level.
 trace-diff:
 	go run ./cmd/tracediff -normalize -max-regress $(MAX_REGRESS) -min-dur 100ms $(TRACE_BASELINE) $(TRACE_OUT)
+
+# trace-incr-smoke traces the incremental sweep engine: a serialized
+# three-level chain (-sweep-mode incremental, with the opt-in cross-level
+# PODEM memo so atpg.patterns_reused shows up in the spans), then
+# tracestat over the trace. This is the path the artifact chain, the
+# incremental re-levelizer (flow.sta_incremental_ns), and the memo replay
+# all exercise together.
+trace-incr-smoke:
+	go run ./cmd/tpitables -circuits s38417c -scale 0.1 -levels 0,2,5 -workers 1 \
+		-sweep-mode incremental -memo -table 1 -trace $(TRACE_INCR_OUT)
+	go run ./cmd/tracestat $(TRACE_INCR_OUT)
+
+# trace-incr-diff gates the incremental path the same way trace-diff
+# gates the full flow: stage-by-stage against the committed incremental
+# baseline, normalized so only relative regressions fail.
+trace-incr-diff:
+	go run ./cmd/tracediff -normalize -max-regress $(MAX_REGRESS) -min-dur 100ms $(TRACE_INCR_BASELINE) $(TRACE_INCR_OUT)
 
 # metrics-smoke starts a sweep with a live /metrics listener, scrapes it
 # mid-run, and asserts the exposition carries the expected histogram

@@ -64,18 +64,20 @@ func main() {
 	retryAttempts := flag.Int("retry-attempts", 3, "attempts per sweep level before its transient failure becomes permanent")
 	retryBase := flag.Duration("retry-base", 100*time.Millisecond, "initial retry backoff (doubles per attempt, full jitter)")
 	retryMax := flag.Duration("retry-max", 5*time.Second, "backoff ceiling per retry")
+	sweepMode := flag.String("sweep-mode", "full", "default level scheduling for jobs that do not set flow.sweep_mode: full (levels fan out across the worker pool) or incremental (levels serialize, each reusing the previous level's artifacts); results are bit-identical either way")
 	flag.Parse()
 
 	prom := telemetry.NewPromSink("tpid")
 	srv, err := service.Open(service.Options{
-		Workers:      *workers,
-		FlowWorkers:  *flowWorkers,
-		QueueDepth:   *queueDepth,
-		CacheBytes:   *cacheBytes,
-		MaxBodyBytes: *maxBody,
-		RetainJobs:   *retainJobs,
-		Metrics:      prom,
-		DataDir:      *dataDir,
+		Workers:          *workers,
+		FlowWorkers:      *flowWorkers,
+		QueueDepth:       *queueDepth,
+		CacheBytes:       *cacheBytes,
+		MaxBodyBytes:     *maxBody,
+		RetainJobs:       *retainJobs,
+		Metrics:          prom,
+		DataDir:          *dataDir,
+		DefaultSweepMode: *sweepMode,
 		Retry: service.RetryPolicy{
 			MaxAttempts: *retryAttempts,
 			BaseDelay:   *retryBase,

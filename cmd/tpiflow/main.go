@@ -46,6 +46,7 @@ func main() {
 	workers := flag.Int("workers", 0, "fault-simulation shard count (0 = GOMAXPROCS, 1 = serial)")
 	timeout := flag.Duration("timeout", 0, "cancel the run after this long (0 = no limit)")
 	atpgBudget := flag.Duration("atpg-budget", 0, "ATPG effort budget; expiry truncates the run instead of failing it (0 = no limit)")
+	sweepMode := flag.String("sweep-mode", "full", "level scheduling, accepted for flag parity with tpitables/tpid: full or incremental; a single-level run is identical either way")
 	obsFlags := obs.Register()
 	flag.Parse()
 
@@ -72,6 +73,10 @@ func main() {
 	cfg.TPPercent = *tp
 	cfg.SkipATPG = *skipATPG
 	cfg.Workers = *workers
+	cfg.SweepMode, err = tpilayout.ParseSweepMode(*sweepMode)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if *atpgBudget > 0 {
 		cfg.Deadline = time.Now().Add(*atpgBudget)
 	}

@@ -49,6 +49,8 @@ func main() {
 	table := flag.String("table", "all", "which table to print: 1, 2, 3, or all")
 	levels := flag.String("levels", "0,1,2,3,4,5", "test-point percentages to sweep")
 	workers := flag.Int("workers", 0, "sweep concurrency (0 = GOMAXPROCS, 1 = serial)")
+	sweepMode := flag.String("sweep-mode", "full", "level scheduling: full (levels fan out across workers) or incremental (levels serialize, each reusing the previous level's artifacts); tables are bit-identical either way")
+	memo := flag.Bool("memo", false, "with -sweep-mode incremental, also replay memoized PODEM searches across levels (exact, but measured net-negative on sparse sweeps; see flow.Config.ATPGMemo)")
 	timeout := flag.Duration("timeout", 0, "cancel the remaining sweep after this long (0 = no limit); completed levels still print")
 	obsFlags := obs.Register()
 	flag.Parse()
@@ -68,6 +70,11 @@ func main() {
 			log.Fatalf("bad -levels entry %q: %v", s, err)
 		}
 		pcts = append(pcts, v)
+	}
+
+	mode, err := tpilayout.ParseSweepMode(*sweepMode)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	tracer, closeTrace, err := obsFlags.Tracer()
@@ -92,6 +99,8 @@ func main() {
 		cfg := tpilayout.ExperimentConfig(name)
 		cfg.SkipATPG = *table == "2" || *table == "3"
 		cfg.Workers = *workers
+		cfg.SweepMode = mode
+		cfg.ATPGMemo = *memo
 		cfg.Telemetry = tracer
 		start := time.Now()
 		results, err := tpilayout.SweepPartial(ctx, design, cfg, pcts)

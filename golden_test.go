@@ -27,6 +27,10 @@ var goldenLevels = []float64{0, 2, 5}
 
 // goldenSweep renders all three tables of a reduced-scale s38417c sweep.
 func goldenSweep(t *testing.T, workers int) string {
+	return goldenSweepMode(t, workers, SweepFull, false)
+}
+
+func goldenSweepMode(t *testing.T, workers int, mode SweepMode, memo bool) string {
 	t.Helper()
 	design, err := Generate(S38417Class().Scale(0.05), DefaultLibrary())
 	if err != nil {
@@ -34,6 +38,8 @@ func goldenSweep(t *testing.T, workers int) string {
 	}
 	cfg := ExperimentConfig("s38417c")
 	cfg.Workers = workers
+	cfg.SweepMode = mode
+	cfg.ATPGMemo = memo
 	rows, err := Sweep(design, cfg, goldenLevels)
 	if err != nil {
 		t.Fatal(err)
@@ -63,6 +69,23 @@ func TestSweepGolden(t *testing.T) {
 	}
 	if string(want) != serial {
 		t.Errorf("sweep output drifted from golden file %s\n%s", path, diffLines(string(want), serial))
+	}
+}
+
+// TestSweepIncrementalGolden locks the incremental engine against the
+// same committed golden tables as full mode: the cross-level artifact
+// chain (TPI resume, incremental relevel, ATPG memo replay — the memo is
+// deliberately enabled here, its hardest exactness check) must not move
+// a single output byte.
+func TestSweepIncrementalGolden(t *testing.T) {
+	incr := goldenSweepMode(t, 1, SweepIncremental, true)
+	path := filepath.Join(goldenDir, "sweep_s38417c.golden")
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run TestSweepGolden with -update to create it): %v", err)
+	}
+	if string(want) != incr {
+		t.Errorf("incremental sweep drifted from golden file %s\n%s", path, diffLines(string(want), incr))
 	}
 }
 

@@ -1,0 +1,599 @@
+package atpg
+
+import (
+	"sort"
+
+	"tpilayout/internal/fault"
+	"tpilayout/internal/netlist"
+	"tpilayout/internal/testability"
+)
+
+// Memo is the cross-level PODEM cache of the incremental sweep engine.
+//
+// Adjacent sweep levels differ only by a handful of test points, so the
+// vast majority of PODEM searches at level N+1 traverse circuit regions
+// that are byte-identical to level N. generate() is a pure function of
+// the region it touches: setFault fully resets both simulation planes to
+// the constant-settled baseline, and the event-driven simulation settles
+// to a fixpoint determined by the current source assignments alone. The
+// memo exploits that purity:
+//
+//   - On a miss, the search runs normally while a recorder collects every
+//     net the simulator or the PODEM heuristics read (the footprint). The
+//     outcome is stored keyed by the fault site's stable identity.
+//   - On a later lookup the entry is valid when every footprint net still
+//     has an identical structural signature (constants, baseline value,
+//     source/sink role, driver shape, load list), every net whose SCOAP
+//     cost the heuristics actually consulted still has the exact same
+//     CC0/CC1/CO triple, and the nets written by the event engine kept
+//     their relative driver-level order (event buckets replay in the same
+//     order). The three checks are deliberately separate: TPI shifts the
+//     absolute levels of most of the circuit (+2 per inserted TSFF) and
+//     perturbs SCOAP costs across whole cones, but a given search only
+//     *reads* costs on its backtrace paths and only *orders* events in its
+//     own cone, so checking each dependency at the granularity it was
+//     consumed keeps distant edits from invalidating unrelated entries.
+//   - A valid aborted/untestable entry replays for free — the search
+//     would deterministically reach the same dead end. A valid successful
+//     entry replays by re-assigning only the surviving decision values
+//     (no backtracking), then verifies that the fault is detected; if the
+//     verification fails the entry is dropped and a fresh search runs, so
+//     success replay is unconditionally safe.
+//
+// Statuses, dynamic compaction, random fill, fault simulation, and static
+// compaction always run live, which is what keeps an incremental run
+// bit-identical to a full rerun.
+//
+// A Memo is single-goroutine: it is owned by the serial generation loop
+// of one run at a time (the incremental sweep serializes levels; the
+// fault-simulation shards never touch it).
+type Memo struct {
+	entries map[memoKey]*memoEntry
+	epoch   int32
+
+	// dirtyAt[net] is the last epoch at which net's driver-side signature
+	// changed (dirtyLoadAt: its load-list signature); an entry is
+	// structurally valid when every net it read satisfies
+	// dirtyAt <= entry.epoch in the domain it was read (signatures equal
+	// by transitivity).
+	dirtyAt      []int32
+	dirtyDriveAt []int32
+	dirtyLoadAt  []int32
+	sig          []uint64
+	sigDrive     []uint64
+	sigLoad      []uint64
+	lvlOf        []int32
+	ta           *testability.Analysis
+
+	rec        touchRec
+	lvlScratch []lvlPair
+
+	// Stats are reset by BeginLevel and describe the current level.
+	Stats MemoStats
+}
+
+// MemoStats counts memo outcomes for one level.
+type MemoStats struct {
+	DirtyNets      int   // nets whose structural signature changed at BeginLevel
+	Lookups        int64 // generate calls that consulted the memo
+	HitsReplay     int64 // successful cubes replayed without search
+	HitsFree       int64 // aborted/untestable outcomes replayed for free
+	Misses         int64 // searches run and recorded
+	Invalidated    int64 // entries dropped (sum of the three causes below)
+	InvalidStruct  int64 // ... by a read net's role/baseline signature
+	InvalidDrive   int64 // ... by an evaluated net's driver shape
+	InvalidLoads   int64 // ... by a traversed net's load list
+	InvalidTA      int64 // ... by a consulted SCOAP cost changing
+	InvalidLevel   int64 // ... by the event cone's level order changing
+	VerifyFailures int64 // success replays that failed detection (re-searched)
+}
+
+// NewMemo returns an empty cross-level memo. Thread it through the
+// Options.Memo of consecutive runs over incrementally-edited netlists.
+func NewMemo() *Memo { return &Memo{entries: make(map[memoKey]*memoEntry)} }
+
+// memoKey identifies a PODEM target across levels: the fault site by
+// stable identity — net ID plus load (cell, pin), because the fanout
+// *index* shifts when later DfT edits grow a net's load list — and the
+// backtrack limit of the pass (retry-pass entries must not answer
+// first-pass lookups).
+type memoKey struct {
+	net  netlist.NetID
+	cell netlist.CellID
+	pin  int32
+	sa   int8
+	bt   int32
+}
+
+type assignStep struct {
+	src netlist.NetID
+	val uint8
+}
+
+// footPair is one event-written net with the level of its driving cell at
+// record time (0 for sources and non-combinationally driven nets,
+// CellLevel+1 otherwise).
+type footPair struct {
+	net netlist.NetID
+	lvl int32
+}
+
+// taRead is one net whose SCOAP costs the heuristics consulted, with the
+// exact values read at record time. Validity demands raw equality: the
+// picks those values steered replay identically only if the inputs to
+// every comparison are unchanged.
+type taRead struct {
+	net          netlist.NetID
+	cc0, cc1, co int32
+}
+
+type memoEntry struct {
+	res   genResult
+	fsig  uint8 // faultSig at record time (directObs / comb-load class)
+	epoch int32
+	trail []assignStep    // final decision values; nil unless genSuccess
+	foot  []netlist.NetID // value/role reads: baseline validity domain
+	drive []netlist.NetID // driver evaluations: fanin-shape validity domain
+	loads []netlist.NetID // load-list traversals: fanout validity domain
+	evt   []footPair      // event-written nets: level-order validity domain
+	ta    []taRead        // cost-consulted nets: SCOAP validity domain
+}
+
+type lvlPair struct{ old, new int32 }
+
+// touchRec is the footprint recorder the simulator and PODEM heuristics
+// call into while a miss is being searched; nil-guarded at every hook so
+// the full (non-memo) path pays one predictable branch. It keeps three
+// deduplicated sets: every net read (structural validity), the out nets
+// of event-processed cells (level-order validity), and the nets whose
+// SCOAP costs were consulted (cost validity).
+type touchRec struct {
+	mark      []int32
+	evtMark   []int32
+	taMark    []int32
+	loadMark  []int32
+	driveMark []int32
+	ep        int32
+	nets      []netlist.NetID
+	evtNets   []netlist.NetID
+	taNets    []netlist.NetID
+	loadNets  []netlist.NetID
+	driveNets []netlist.NetID
+}
+
+func (r *touchRec) reset() {
+	r.ep++
+	r.nets = r.nets[:0]
+	r.evtNets = r.evtNets[:0]
+	r.taNets = r.taNets[:0]
+	r.loadNets = r.loadNets[:0]
+	r.driveNets = r.driveNets[:0]
+}
+
+func (r *touchRec) touch(n netlist.NetID) {
+	if r.mark[n] != r.ep {
+		r.mark[n] = r.ep
+		r.nets = append(r.nets, n)
+	}
+}
+
+// touchEvt records an event-engine write target; callers must also touch()
+// the net (the structural set is a superset by construction).
+func (r *touchRec) touchEvt(n netlist.NetID) {
+	if r.evtMark[n] != r.ep {
+		r.evtMark[n] = r.ep
+		r.evtNets = append(r.evtNets, n)
+	}
+}
+
+// touchLoads records a traversal of a net's combinational load list (event
+// fan-out or X-path search). Deliberately separate from touch(): a net's
+// loads change when a test point is retrofitted onto it, but a search that
+// only backtraced *through* the net never looked at them.
+func (r *touchRec) touchLoads(n netlist.NetID) {
+	if r.loadMark[n] != r.ep {
+		r.loadMark[n] = r.ep
+		r.loadNets = append(r.loadNets, n)
+	}
+}
+
+// touchDrive records an evaluation of a net's driving cell — the event
+// engine computing its value, or the backtracer stepping through it. Only
+// then does the driver's identity, kind, and fanin list matter: a net that
+// is merely read keeps its meaning as long as its baseline and roles hold
+// (an unwritten net always carries its baseline value, and writing it
+// implies its driver was evaluated).
+func (r *touchRec) touchDrive(n netlist.NetID) {
+	if r.driveMark[n] != r.ep {
+		r.driveMark[n] = r.ep
+		r.driveNets = append(r.driveNets, n)
+	}
+}
+
+// touchTA records a SCOAP cost read; also adds the net to the structural
+// set, since a cost consultation is a read like any other.
+func (r *touchRec) touchTA(n netlist.NetID) {
+	if r.taMark[n] != r.ep {
+		r.taMark[n] = r.ep
+		r.taNets = append(r.taNets, n)
+	}
+	r.touch(n)
+}
+
+// BeginLevel binds the memo to the current level's view and testability
+// analysis: it recomputes every net's signature, stamps the nets whose
+// signature changed (or that are new) with the fresh epoch, and resets
+// the per-level stats. Must be called once per run, before any lookup.
+func (m *Memo) BeginLevel(v *View, ta *testability.Analysis) {
+	m.epoch++
+	m.Stats = MemoStats{}
+	base := computeBaseline(v)
+	nNets := len(v.N.Nets)
+	sig := make([]uint64, nNets)
+	sigDrive := make([]uint64, nNets)
+	sigLoad := make([]uint64, nNets)
+	lvl := make([]int32, nNets)
+	for net := 0; net < nNets; net++ {
+		sig[net] = netSig(v, base, netlist.NetID(net))
+		sigDrive[net] = netSigDrive(v, netlist.NetID(net))
+		sigLoad[net] = netSigLoad(v, netlist.NetID(net))
+		lvl[net] = netLvl(v, netlist.NetID(net))
+	}
+	grow := func(s []int32) []int32 {
+		if len(s) >= nNets {
+			return s
+		}
+		grown := make([]int32, nNets)
+		copy(grown, s)
+		return grown
+	}
+	m.dirtyAt = grow(m.dirtyAt)
+	m.dirtyDriveAt = grow(m.dirtyDriveAt)
+	m.dirtyLoadAt = grow(m.dirtyLoadAt)
+	first := m.sig == nil
+	common := len(m.sig)
+	if common > nNets {
+		common = nNets
+	}
+	dirty := 0
+	for net := 0; net < common; net++ {
+		changed := false
+		if sig[net] != m.sig[net] {
+			m.dirtyAt[net] = m.epoch
+			changed = true
+		}
+		if sigDrive[net] != m.sigDrive[net] {
+			m.dirtyDriveAt[net] = m.epoch
+			changed = true
+		}
+		if sigLoad[net] != m.sigLoad[net] {
+			m.dirtyLoadAt[net] = m.epoch
+			changed = true
+		}
+		if changed {
+			dirty++
+		}
+	}
+	for net := common; net < nNets; net++ {
+		m.dirtyAt[net] = m.epoch
+		m.dirtyDriveAt[net] = m.epoch
+		m.dirtyLoadAt[net] = m.epoch
+		dirty++
+	}
+	if !first {
+		m.Stats.DirtyNets = dirty
+	}
+	m.sig, m.sigDrive, m.sigLoad, m.lvlOf, m.ta = sig, sigDrive, sigLoad, lvl, ta
+	m.rec.mark = grow(m.rec.mark)
+	m.rec.evtMark = grow(m.rec.evtMark)
+	m.rec.taMark = grow(m.rec.taMark)
+	m.rec.loadMark = grow(m.rec.loadMark)
+	m.rec.driveMark = grow(m.rec.driveMark)
+}
+
+// lookup returns a still-valid entry for fault f at backtrack limit bt,
+// refreshing its epoch (region equality is transitive, so a revalidated
+// entry survives further unrelated edits). Invalid entries are dropped.
+func (m *Memo) lookup(v *View, f fault.Fault, bt int) (*memoEntry, bool) {
+	m.Stats.Lookups++
+	key := memoKeyOf(v, f, bt)
+	e, ok := m.entries[key]
+	if !ok {
+		return nil, false
+	}
+	if e.fsig != faultSig(v, f) {
+		delete(m.entries, key)
+		m.Stats.Invalidated++
+		m.Stats.InvalidStruct++
+		return nil, false
+	}
+	if !m.valid(e) {
+		delete(m.entries, key)
+		m.Stats.Invalidated++
+		return nil, false
+	}
+	e.epoch = m.epoch
+	return e, true
+}
+
+func (m *Memo) drop(v *View, f fault.Fault, bt int) {
+	delete(m.entries, memoKeyOf(v, f, bt))
+}
+
+// valid checks an entry's three validity domains. Structure: every
+// touched net unchanged since the entry's epoch. Costs: every consulted
+// SCOAP triple still holds the exact values the picks compared. Levels:
+// the event-written nets' driver levels are order-isomorphic (including
+// ties) to record time — the event engine drains cells level-bucket by
+// level-bucket, so the recorded trajectory (values *and* D-frontier
+// discovery order) replays identically exactly when the relative order of
+// the cone's levels survived. TPI shifts downstream cones by +2, so
+// absolute levels routinely change while the cone-local order does not.
+func (m *Memo) valid(e *memoEntry) bool {
+	for _, net := range e.foot {
+		if m.dirtyAt[net] > e.epoch {
+			m.Stats.InvalidStruct++
+			return false
+		}
+	}
+	for _, net := range e.drive {
+		if m.dirtyDriveAt[net] > e.epoch {
+			m.Stats.InvalidDrive++
+			return false
+		}
+	}
+	for _, net := range e.loads {
+		if m.dirtyLoadAt[net] > e.epoch {
+			m.Stats.InvalidLoads++
+			return false
+		}
+	}
+	for _, tr := range e.ta {
+		if m.ta.CC0[tr.net] != tr.cc0 || m.ta.CC1[tr.net] != tr.cc1 || m.ta.CO[tr.net] != tr.co {
+			m.Stats.InvalidTA++
+			return false
+		}
+	}
+	shifted := false
+	for _, fp := range e.evt {
+		if m.lvlOf[fp.net] != fp.lvl {
+			shifted = true
+			break
+		}
+	}
+	if !shifted {
+		return true // identity level map: trivially order-preserving
+	}
+	prs := m.lvlScratch[:0]
+	for _, fp := range e.evt {
+		prs = append(prs, lvlPair{old: fp.lvl, new: m.lvlOf[fp.net]})
+	}
+	m.lvlScratch = prs
+	sort.Slice(prs, func(i, j int) bool {
+		if prs[i].old != prs[j].old {
+			return prs[i].old < prs[j].old
+		}
+		return prs[i].new < prs[j].new
+	})
+	for i := 1; i < len(prs); i++ {
+		if prs[i].old == prs[i-1].old {
+			if prs[i].new != prs[i-1].new {
+				m.Stats.InvalidLevel++
+				return false
+			}
+		} else if prs[i].new <= prs[i-1].new {
+			m.Stats.InvalidLevel++
+			return false
+		}
+	}
+	return true
+}
+
+// seedFrom unions the footprint of an entry recorded earlier in this run
+// (keyed by the same fault at backtrack limit bt) into the active
+// recorder. Used when the retry pass resumes an aborted search from its
+// snapshot: the continuation only re-reads what lies past the abort
+// point, but a from-scratch retry would retrace the recorded prefix
+// exactly, so prefix ∪ continuation is precisely the full retry
+// footprint.
+func (m *Memo) seedFrom(v *View, f fault.Fault, bt int) {
+	e, ok := m.entries[memoKeyOf(v, f, bt)]
+	if !ok {
+		return
+	}
+	for _, n := range e.foot {
+		m.rec.touch(n)
+	}
+	for _, n := range e.drive {
+		m.rec.touchDrive(n)
+	}
+	for _, n := range e.loads {
+		m.rec.touchLoads(n)
+	}
+	for _, fp := range e.evt {
+		m.rec.touchEvt(fp.net)
+	}
+	for _, tr := range e.ta {
+		m.rec.touchTA(tr.net)
+	}
+}
+
+// beginRecord attaches the footprint recorder to the simulator for one
+// generate call.
+func (m *Memo) beginRecord(s *sim5) {
+	m.rec.reset()
+	s.rec = &m.rec
+}
+
+// endRecord detaches the recorder and stores the search outcome. For a
+// success the surviving decision values are kept — replaying just those
+// assignments reproduces the final fixpoint state, because the settled
+// planes depend only on the current source values, not on the
+// backtracking journey that found them.
+func (m *Memo) endRecord(v *View, s *sim5, f fault.Fault, bt int, g genResult, decisions []decision) {
+	s.rec = nil
+	e := &memoEntry{res: g, fsig: faultSig(v, f), epoch: m.epoch}
+	e.foot = append([]netlist.NetID(nil), m.rec.nets...)
+	e.drive = append([]netlist.NetID(nil), m.rec.driveNets...)
+	e.loads = append([]netlist.NetID(nil), m.rec.loadNets...)
+	e.evt = make([]footPair, len(m.rec.evtNets))
+	for i, net := range m.rec.evtNets {
+		e.evt[i] = footPair{net: net, lvl: m.lvlOf[net]}
+	}
+	e.ta = make([]taRead, len(m.rec.taNets))
+	for i, net := range m.rec.taNets {
+		e.ta[i] = taRead{net: net, cc0: m.ta.CC0[net], cc1: m.ta.CC1[net], co: m.ta.CO[net]}
+	}
+	if g == genSuccess {
+		e.trail = make([]assignStep, len(decisions))
+		for i, d := range decisions {
+			e.trail[i] = assignStep{src: d.src, val: d.val}
+		}
+	}
+	m.entries[memoKeyOf(v, f, bt)] = e
+}
+
+func memoKeyOf(v *View, f fault.Fault, bt int) memoKey {
+	k := memoKey{net: f.Net, sa: f.SA, bt: int32(bt), cell: netlist.NoCell, pin: -1}
+	if f.Load != fault.StemLoad {
+		ld := v.fanout(f.Net)[f.Load]
+		k.cell, k.pin = ld.Cell, int32(ld.Pin)
+	}
+	return k
+}
+
+// faultSig classifies the fault site the way installFault does: stem vs
+// branch, direct observation (branch into a flop's d pin or a primary
+// output), and combinational-load injection. The load (cell, pin) pair is
+// already the key; this covers the derived flags the key cannot see
+// (e.g. a sequential load cell changing shape is invisible to every
+// net signature, because the simulator never evaluates it).
+func faultSig(v *View, f fault.Fault) uint8 {
+	if f.Load == fault.StemLoad {
+		return 0
+	}
+	ld := v.fanout(f.Net)[f.Load]
+	s := uint8(1)
+	switch {
+	case ld.Cell == netlist.NoCell:
+		s |= 2 // branch straight into a primary output
+	case !v.Comb(ld.Cell):
+		c := &v.N.Cells[ld.Cell]
+		if c.Cell.Kind.IsSequential() && c.Cell.FindInput("d") == ld.Pin {
+			s |= 2
+		}
+	default:
+		s |= 4
+	}
+	return s
+}
+
+// netSig hashes the *driver-side structural* face of one net: its frozen
+// value, baseline plane value, source and sink roles, and driver
+// identity/kind/liveness with (for combinational drivers) the exact fanin
+// list. Everything else the search can observe is excluded and checked at
+// the granularity it was consumed: the combinational load list
+// (netSigLoad; read only on fan-out traversal), driver levels (shift
+// wholesale under TPI; order-isomorphism test over the event cone), SCOAP
+// costs (perturbed across whole cones by a test point; raw-equality test
+// over the nets a pick actually compared), and sequential load (cell, pin)
+// identities (invisible to the combinational search; including them would
+// dirty every flop input cone whenever scan stitching rewires si pins).
+func netSig(v *View, base []uint8, net netlist.NetID) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(x uint64) {
+		h ^= x
+		h *= prime64
+	}
+	mix(uint64(int64(v.ConstVal[net])) + 2)
+	mix(uint64(base[net]))
+	if v.SourceOf[net] >= 0 {
+		mix(1)
+	} else {
+		mix(0)
+	}
+	if v.IsSink[net] {
+		mix(1)
+	} else {
+		mix(0)
+	}
+	d := v.N.Nets[net].Driver
+	if d == netlist.NoCell || !v.Comb(d) {
+		// Combinationally undriven: the backtracer stops here and the
+		// event engine never writes it, so role + baseline say it all.
+		mix(0)
+	} else {
+		mix(1)
+	}
+	return h
+}
+
+// netSigDrive hashes the shape of one net's driving cell — identity,
+// kind, and exact fanin list. Consulted only for nets whose driver the
+// search evaluated (event processing or backtrace steps).
+func netSigDrive(v *View, net netlist.NetID) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(x uint64) {
+		h ^= x
+		h *= prime64
+	}
+	d := v.N.Nets[net].Driver
+	if d == netlist.NoCell {
+		mix(^uint64(0))
+		return h
+	}
+	mix(uint64(d))
+	mix(uint64(v.CellKind[d]))
+	if v.Comb(d) {
+		mix(1)
+		fanin := v.fanin(d)
+		mix(uint64(len(fanin)))
+		for _, fn := range fanin {
+			mix(uint64(fn))
+		}
+	} else {
+		mix(0)
+	}
+	return h
+}
+
+// netSigLoad hashes the ordered combinational load list of one net — the
+// part of its structure the search reads only when traversing fan-out
+// (event propagation, X-path search). Kept apart from netSig because a
+// retrofit test point rewires exactly this list on its target net.
+func netSigLoad(v *View, net netlist.NetID) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(x uint64) {
+		h ^= x
+		h *= prime64
+	}
+	loads := v.combLoads(net)
+	mix(uint64(len(loads)))
+	for _, lc := range loads {
+		mix(uint64(lc))
+	}
+	return h
+}
+
+// netLvl is the event-bucket level associated with a net: the level of
+// its combinational driver plus one, or 0 for sources, constants, and
+// sequentially-driven nets (which no event bucket ever holds).
+func netLvl(v *View, net netlist.NetID) int32 {
+	d := v.N.Nets[net].Driver
+	if d == netlist.NoCell || !v.Comb(d) {
+		return 0
+	}
+	return int32(v.Level[d]) + 1
+}

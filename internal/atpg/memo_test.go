@@ -1,0 +1,139 @@
+package atpg
+
+import (
+	"reflect"
+	"testing"
+
+	"tpilayout/internal/circuitgen"
+	"tpilayout/internal/fault"
+	"tpilayout/internal/netlist"
+	"tpilayout/internal/stdcell"
+	"tpilayout/internal/tpi"
+)
+
+// memoLevel builds one "sweep level" the way the flow does: a fresh clone
+// of the base circuit with count test points inserted, plus the ATPG
+// options carrying the TSFF capture constraints.
+func memoLevel(t *testing.T, base *netlist.Netlist, count int) (*netlist.Netlist, Options) {
+	t.Helper()
+	n := base.Clone()
+	tps, err := tpi.Insert(n, tpi.Options{Count: count})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, Options{Constraints: tps.CaptureConstraints()}
+}
+
+// TestMemoBitIdentical is the exactness contract of the cross-level memo:
+// a run that replays memoized searches from previous levels must produce
+// the exact pattern set and per-class statuses of an unmemoized run, at
+// every level of a TPI chain.
+func TestMemoBitIdentical(t *testing.T) {
+	lib := stdcell.Default()
+	base, err := circuitgen.Generate(circuitgen.S38417Class().Scale(0.04), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memo := NewMemo()
+	for li, count := range []int{0, 2, 5} {
+		n, opt := memoLevel(t, base, count)
+		refSet := fault.NewUniverse(n)
+		ref, err := Run(n, refSet, opt)
+		if err != nil {
+			t.Fatalf("level %d (reference): %v", li, err)
+		}
+
+		mopt := opt
+		mopt.Memo = memo
+		memSet := fault.NewUniverse(n)
+		got, err := Run(n, memSet, mopt)
+		if err != nil {
+			t.Fatalf("level %d (memo): %v", li, err)
+		}
+
+		if !reflect.DeepEqual(ref.Patterns, got.Patterns) {
+			t.Fatalf("level %d: memoized pattern set differs (%d vs %d patterns)",
+				li, len(got.Patterns), len(ref.Patterns))
+		}
+		if !reflect.DeepEqual(refSet.Counts(), memSet.Counts()) {
+			t.Fatalf("level %d: memoized statuses differ: %v vs %v",
+				li, memSet.Counts(), refSet.Counts())
+		}
+		if got.RandomKept != ref.RandomKept || got.DeterministicKept != ref.DeterministicKept {
+			t.Fatalf("level %d: provenance differs: random %d/%d det %d/%d",
+				li, got.RandomKept, ref.RandomKept, got.DeterministicKept, ref.DeterministicKept)
+		}
+		t.Logf("level %d (tp=%d): lookups=%d replay=%d free=%d miss=%d invalid=%d (struct=%d drive=%d loads=%d ta=%d lvl=%d) verifyfail=%d dirty=%d",
+			li, count, memo.Stats.Lookups, memo.Stats.HitsReplay, memo.Stats.HitsFree,
+			memo.Stats.Misses, memo.Stats.Invalidated, memo.Stats.InvalidStruct,
+			memo.Stats.InvalidDrive, memo.Stats.InvalidLoads,
+			memo.Stats.InvalidTA, memo.Stats.InvalidLevel, memo.Stats.VerifyFailures, memo.Stats.DirtyNets)
+		// Cross-level hit counts are not asserted: inserting a test point
+		// rewires its target net's loads onto the TSFF output mux, which in
+		// capture mode reads the flop — a fresh scan source — so every
+		// footprint crossing a moved-load cone is *semantically* invalid,
+		// and at this circuit scale the SCOAP-guided points land in exactly
+		// the hard regions most footprints traverse. What is asserted is
+		// the accounting (every lookup is a hit, a miss, or followed an
+		// invalidation with a recorded cause) and, above, bit-identity.
+		// TestMemoSameLevelIdempotent proves the cache hits when valid.
+		if got := memo.Stats.HitsReplay + memo.Stats.HitsFree + memo.Stats.Misses; got != memo.Stats.Lookups {
+			t.Errorf("level %d: lookup accounting broken: replay+free+miss=%d, lookups=%d",
+				li, got, memo.Stats.Lookups)
+		}
+		causes := memo.Stats.InvalidStruct + memo.Stats.InvalidDrive + memo.Stats.InvalidLoads +
+			memo.Stats.InvalidTA + memo.Stats.InvalidLevel
+		if causes < memo.Stats.Invalidated {
+			t.Errorf("level %d: %d invalidations but only %d recorded causes",
+				li, memo.Stats.Invalidated, causes)
+		}
+		if memo.Stats.VerifyFailures > 0 {
+			t.Errorf("level %d: %d replay verification failures — signatures are missing a dependency",
+				li, memo.Stats.VerifyFailures)
+		}
+	}
+}
+
+// TestMemoSameLevelIdempotent re-runs the same level twice through one
+// memo: the second run must hit on essentially every deterministic target
+// (generate is pure, nothing was edited) and still match bit-exactly.
+func TestMemoSameLevelIdempotent(t *testing.T) {
+	lib := stdcell.Default()
+	base, err := circuitgen.Generate(circuitgen.WirelessCtrlClass().Scale(0.20), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, opt := memoLevel(t, base, 3)
+
+	refSet := fault.NewUniverse(n)
+	ref, err := Run(n, refSet, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	memo := NewMemo()
+	for pass := 0; pass < 2; pass++ {
+		set := fault.NewUniverse(n)
+		mopt := opt
+		mopt.Memo = memo
+		got, err := Run(n, set, mopt)
+		if err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+		if !reflect.DeepEqual(ref.Patterns, got.Patterns) {
+			t.Fatalf("pass %d: pattern set differs", pass)
+		}
+		if !reflect.DeepEqual(refSet.Counts(), set.Counts()) {
+			t.Fatalf("pass %d: statuses differ", pass)
+		}
+		if pass == 1 {
+			if memo.Stats.DirtyNets != 0 {
+				t.Errorf("identical netlist re-run dirtied %d nets", memo.Stats.DirtyNets)
+			}
+			if memo.Stats.Misses != 0 {
+				t.Errorf("identical netlist re-run missed %d times (invalid=%d)",
+					memo.Stats.Misses, memo.Stats.Invalidated)
+			}
+		}
+	}
+}

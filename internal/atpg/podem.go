@@ -52,8 +52,52 @@ func (p *podem) generate(f fault.Fault) ([]int8, genResult) {
 	p.s.setFault(f)
 	p.decisions = p.decisions[:0]
 	p.nTargets++
-	backtracks := 0
+	return p.search(f, 0)
+}
 
+// abortSnap freezes a search at its abort point: the settled planes, the
+// D-frontier candidate list (whose order the objective's first-wins argmin
+// consumes), the decision stack — with the pending flip already applied to
+// the top entry but not yet assigned, exactly as generate leaves it — and
+// the backtrack count at the abort check.
+type abortSnap struct {
+	planes     []uint8
+	cand       []netlist.CellID
+	decisions  []decision
+	backtracks int
+}
+
+// snapshot captures the current abort state; call only immediately after
+// generate returned genAborted from a real search.
+func (p *podem) snapshot() *abortSnap {
+	return &abortSnap{
+		planes:     append([]uint8(nil), p.s.P...),
+		cand:       append([]netlist.CellID(nil), p.s.cand...),
+		decisions:  append([]decision(nil), p.decisions...),
+		backtracks: p.btLimit + 1,
+	}
+}
+
+// resume continues an aborted search under the current (larger) backtrack
+// limit from its abort snapshot instead of re-deriving the whole prefix.
+// This is exact: PODEM is deterministic and the backtrack limit only gates
+// the abort check, so a from-scratch run at the larger limit would retrace
+// the identical decision sequence to the abort point, arrive at exactly
+// the snapshot state with the same pending flip, execute that flip (the
+// count now being under the limit), and carry on — which is precisely what
+// resume does directly.
+func (p *podem) resume(f fault.Fault, snap *abortSnap) ([]int8, genResult) {
+	p.s.restore(f, snap.planes, snap.cand)
+	p.decisions = append(p.decisions[:0], snap.decisions...)
+	p.nTargets++
+	// Execute the flip the abort cut short.
+	d := &p.decisions[len(p.decisions)-1]
+	p.s.assign(d.src, d.val)
+	return p.search(f, snap.backtracks)
+}
+
+// search is the PODEM decision loop shared by generate and resume.
+func (p *podem) search(f fault.Fault, backtracks int) ([]int8, genResult) {
 	for {
 		if p.s.detected() {
 			return p.cube(), genSuccess
@@ -91,6 +135,24 @@ func (p *podem) generate(f fault.Fault) ([]int8, genResult) {
 			p.decisions = p.decisions[:len(p.decisions)-1]
 		}
 	}
+}
+
+// replay re-executes a memoized successful search: the surviving decision
+// values are re-assigned in order on a freshly set-up fault. The
+// event-driven simulation settles to a fixpoint determined by the current
+// source assignments alone, so replaying just the final decisions — no
+// objectives, no backtracking — reproduces the full search's end state
+// exactly: same planes, same decision stack for the dynamic-compaction
+// extends that follow, same cube. The caller verifies detected() before
+// trusting the result.
+func (p *podem) replay(f fault.Fault, trail []assignStep) []int8 {
+	p.s.setFault(f)
+	p.decisions = p.decisions[:0]
+	for _, st := range trail {
+		p.decisions = append(p.decisions, decision{src: st.src, val: st.val})
+		p.s.assign(st.src, st.val)
+	}
+	return p.cube()
 }
 
 // extend attempts dynamic compaction: with the current assignments (from
@@ -154,7 +216,7 @@ func (p *podem) rollback(checkpoint int) {
 func (p *podem) cube() []int8 {
 	cube := make([]int8, len(p.v.Sources))
 	for i, src := range p.v.Sources {
-		switch p.s.G[src] {
+		switch p.s.g(src) {
 		case l0:
 			cube[i] = 0
 		case l1:
@@ -178,7 +240,7 @@ const (
 // observability that still has an X-path to a sink.
 func (p *podem) objective(f fault.Fault) (netlist.NetID, uint8, objState) {
 	want := uint8(1 - f.SA)
-	switch p.s.G[f.Net] {
+	switch p.s.g(f.Net) {
 	case lX:
 		return f.Net, want, objOK
 	case 1 - want:
@@ -191,6 +253,9 @@ func (p *podem) objective(f fault.Fault) (netlist.NetID, uint8, objState) {
 		out := p.v.CellOut[ci]
 		if !p.s.xpathFrom(out) {
 			continue
+		}
+		if p.s.rec != nil {
+			p.s.rec.touchTA(out)
 		}
 		if co := p.ta.CO[out]; co < bestCO {
 			bestCO = co
@@ -287,14 +352,14 @@ func (p *podem) propObjective(ci netlist.CellID) (netlist.NetID, uint8, objState
 		default:
 			// Effect on select: data inputs must differ; nudge an X data
 			// input toward the complement of the other.
-			other := p.s.G[ins[1]]
+			other := p.s.g(ins[1])
 			if other == lX {
 				other = l1
 			}
 			if n, _, ok := pickX(0, 0); ok {
 				return n, 1 - other, objOK
 			}
-			otherA := p.s.G[ins[0]]
+			otherA := p.s.g(ins[0])
 			if otherA == lX {
 				otherA = l1
 			}
@@ -311,8 +376,12 @@ func (p *podem) propObjective(ci netlist.CellID) (netlist.NetID, uint8, objState
 // input when all inputs must be set, the easiest when any one suffices.
 func (p *podem) backtrace(net netlist.NetID, val uint8) (netlist.NetID, uint8, bool) {
 	for steps := 0; steps < len(p.v.N.Nets)+8; steps++ {
+		if p.s.rec != nil {
+			p.s.rec.touch(net)
+			p.s.rec.touchDrive(net)
+		}
 		if p.v.SourceOf[net] >= 0 {
-			if p.s.G[net] != lX {
+			if p.s.g(net) != lX {
 				return 0, 0, false // objective reaches an already-assigned source
 			}
 			return net, val, true
@@ -332,6 +401,22 @@ func (p *podem) backtrace(net netlist.NetID, val uint8) (netlist.NetID, uint8, b
 
 // chooseInput picks the next (net, value) one gate back from an objective.
 func (p *podem) chooseInput(ci netlist.CellID, v uint8) (netlist.NetID, uint8, bool) {
+	if p.s.rec != nil {
+		// Inverters, buffers, and XOR gates choose by structure and values
+		// alone; every other kind compares SCOAP costs of its fanins.
+		costly := true
+		switch p.v.CellKind[ci] {
+		case stdcell.KindInv, stdcell.KindBuf, stdcell.KindXor, stdcell.KindXnor:
+			costly = false
+		}
+		for _, n := range p.v.fanin(ci) {
+			if costly {
+				p.s.rec.touchTA(n)
+			} else {
+				p.s.rec.touch(n)
+			}
+		}
+	}
 	cc := func(net netlist.NetID, bit uint8) int32 {
 		if bit == l0 {
 			return p.ta.CC0[net]
@@ -344,7 +429,7 @@ func (p *podem) chooseInput(ci netlist.CellID, v uint8) (netlist.NetID, uint8, b
 		var bestNet netlist.NetID = netlist.NoNet
 		var bestCost int32
 		for _, n := range in {
-			if p.s.G[n] != lX {
+			if p.s.g(n) != lX {
 				continue
 			}
 			cost := cc(n, bit)
@@ -359,9 +444,9 @@ func (p *podem) chooseInput(ci netlist.CellID, v uint8) (netlist.NetID, uint8, b
 	}
 	switch p.v.CellKind[ci] {
 	case stdcell.KindInv:
-		return in[0], 1 - v, p.s.G[in[0]] == lX
+		return in[0], 1 - v, p.s.g(in[0]) == lX
 	case stdcell.KindBuf:
-		return in[0], v, p.s.G[in[0]] == lX
+		return in[0], v, p.s.g(in[0]) == lX
 	case stdcell.KindAnd:
 		if v == l1 {
 			return pick(l1, true)
@@ -389,7 +474,7 @@ func (p *podem) chooseInput(ci netlist.CellID, v uint8) (netlist.NetID, uint8, b
 		}
 		// If one input is known, the other is forced; otherwise guess 0
 		// on the first X input.
-		g0, g1 := p.s.G[in[0]], p.s.G[in[1]]
+		g0, g1 := p.s.g(in[0]), p.s.g(in[1])
 		switch {
 		case g0 == lX && g1 != lX:
 			return in[0], want ^ g1, true
@@ -403,47 +488,47 @@ func (p *podem) chooseInput(ci netlist.CellID, v uint8) (netlist.NetID, uint8, b
 		if v == l0 {
 			// ab = 1 or c = 1: take the cheaper option.
 			costAB := addCost(p.ta.CC1[in[0]], p.ta.CC1[in[1]])
-			if p.ta.CC1[in[2]] <= costAB && p.s.G[in[2]] == lX {
+			if p.ta.CC1[in[2]] <= costAB && p.s.g(in[2]) == lX {
 				return in[2], l1, true
 			}
 			if n, val, ok := pick2(p, in[0], in[1], l1, true); ok {
 				return n, val, true
 			}
-			if p.s.G[in[2]] == lX {
+			if p.s.g(in[2]) == lX {
 				return in[2], l1, true
 			}
 			return 0, 0, false
 		}
 		// v == 1: need c = 0 and ab = 0.
-		if p.s.G[in[2]] == lX {
+		if p.s.g(in[2]) == lX {
 			return in[2], l0, true
 		}
 		return pick2(p, in[0], in[1], l0, false)
 	case stdcell.KindOai21: // y = !((a+b)·c)
 		if v == l0 {
-			if p.s.G[in[2]] == lX {
+			if p.s.g(in[2]) == lX {
 				return in[2], l1, true
 			}
 			return pick2(p, in[0], in[1], l1, false)
 		}
 		costAB := addCost(p.ta.CC0[in[0]], p.ta.CC0[in[1]])
-		if p.ta.CC0[in[2]] <= costAB && p.s.G[in[2]] == lX {
+		if p.ta.CC0[in[2]] <= costAB && p.s.g(in[2]) == lX {
 			return in[2], l0, true
 		}
 		if n, val, ok := pick2(p, in[0], in[1], l0, true); ok {
 			return n, val, true
 		}
-		if p.s.G[in[2]] == lX {
+		if p.s.g(in[2]) == lX {
 			return in[2], l0, true
 		}
 		return 0, 0, false
 	case stdcell.KindMux2: // y = s ? b : a
-		s := p.s.G[in[2]]
+		s := p.s.g(in[2])
 		switch s {
 		case l0:
-			return in[0], v, p.s.G[in[0]] == lX
+			return in[0], v, p.s.g(in[0]) == lX
 		case l1:
-			return in[1], v, p.s.G[in[1]] == lX
+			return in[1], v, p.s.g(in[1]) == lX
 		}
 		// Select is free: pick the branch whose data value is cheaper.
 		costA := addCost(p.ta.CC0[in[2]], cc(in[0], v))
@@ -464,8 +549,8 @@ func pick2(p *podem, a, b netlist.NetID, bit uint8, hardest bool) (netlist.NetID
 		}
 		return p.ta.CC1[net]
 	}
-	aX := p.s.G[a] == lX
-	bX := p.s.G[b] == lX
+	aX := p.s.g(a) == lX
+	bX := p.s.g(b) == lX
 	switch {
 	case aX && bX:
 		if (hardest && cc(a) >= cc(b)) || (!hardest && cc(a) <= cc(b)) {

@@ -7,10 +7,13 @@ import (
 
 // sim5 is an event-driven two-plane (good/faulty) three-valued simulator
 // used by PODEM. The composite of the two planes gives the classic
-// five-valued {0, 1, X, D, D̄} algebra.
+// five-valued {0, 1, X, D, D̄} algebra. Both planes of a net live packed
+// in one byte of P (good low nibble, faulty high nibble), so a gate
+// evaluation is a handful of shifts plus one or two lookups in the
+// precomputed per-(kind,arity) truth tables of evalTabs.
 type sim5 struct {
-	v    *View
-	G, F []uint8 // per-net good / faulty plane values
+	v *View
+	P []uint8 // per-net packed planes: good | faulty<<4
 
 	// Injected fault.
 	fNet  netlist.NetID
@@ -23,17 +26,20 @@ type sim5 struct {
 	directObs bool
 
 	// Level-bucketed event queue; nq counts pending events so run()
-	// stops as soon as the queue drains instead of scanning every level.
+	// stops as soon as the queue drains instead of scanning every level,
+	// and minLvl lets it start at the shallowest pending bucket instead
+	// of walking empty headers from level 1.
 	buckets [][]netlist.CellID
 	queued  []bool
 	nq      int
+	minLvl  int
 
 	// D-frontier candidates (cells that recently had a D input and an X
 	// output). frontier() filters them.
 	cand   []netlist.CellID
 	inCand []bool
 
-	// Baseline plane values with all sources X (constants propagated).
+	// Baseline packed planes with all sources X (constants propagated).
 	baseline []uint8
 
 	// Scratch for X-path search.
@@ -44,7 +50,11 @@ type sim5 struct {
 	sinkD   int
 	dAtSink []bool
 
-	ins []uint8 // scratch input buffer
+	// rec, when non-nil, collects the footprint of the current PODEM
+	// search for the cross-level memo: every net whose value or structure
+	// the simulation reads. Nil outside memo recording (one predictable
+	// branch per event).
+	rec *touchRec
 }
 
 // Composite five-valued views of a net.
@@ -59,60 +69,92 @@ const (
 func newSim5(v *View) *sim5 {
 	s := &sim5{
 		v:       v,
-		G:       make([]uint8, len(v.N.Nets)),
-		F:       make([]uint8, len(v.N.Nets)),
+		P:       make([]uint8, len(v.N.Nets)),
 		buckets: make([][]netlist.CellID, v.MaxLevel+2),
 		queued:  make([]bool, len(v.N.Cells)),
 		inCand:  make([]bool, len(v.N.Cells)),
 		xpVisit: make([]int32, len(v.N.Nets)),
 		dAtSink: make([]bool, len(v.N.Nets)),
 		fCell:   netlist.NoCell,
-		ins:     make([]uint8, 8),
 	}
-	// Baseline: everything X except frozen nets, then one full sweep so
-	// constant-driven logic settles.
-	s.baseline = make([]uint8, len(v.N.Nets))
-	for i := range s.baseline {
+	s.baseline = computeBaseline(v)
+	return s
+}
+
+// g and f unpack one plane of a net.
+func (s *sim5) g(net netlist.NetID) uint8 { return s.P[net] & 0xf }
+func (s *sim5) f(net netlist.NetID) uint8 { return s.P[net] >> 4 }
+
+// computeBaseline returns the settled all-X packed planes of a view:
+// everything X except frozen nets, then one topological sweep so
+// constant-driven logic settles. Shared by the simulator and the
+// cross-level memo's per-net signatures.
+func computeBaseline(v *View) []uint8 {
+	b := make([]uint8, len(v.N.Nets))
+	for i := range b {
 		if cv := v.ConstVal[i]; cv >= 0 {
-			s.baseline[i] = uint8(cv)
+			b[i] = pk(uint8(cv), uint8(cv))
 		} else {
-			s.baseline[i] = lX
+			b[i] = pX
 		}
 	}
-	tmp := s.baseline
+	var ins [16]uint8
 	for _, ci := range v.Order {
 		out := v.CellOut[ci]
 		if v.ConstVal[out] >= 0 {
 			continue
 		}
-		tmp[out] = eval3(v.CellKind[ci], s.gather(ci, tmp, netlist.NoCell))
-	}
-	return s
-}
-
-// gather collects three-valued input values for cell ci from plane vals,
-// substituting the injected stuck value on the faulty branch pin when
-// faultCell == s.fCell == ci (pass NoCell to disable substitution).
-func (s *sim5) gather(ci netlist.CellID, vals []uint8, faultCell netlist.CellID) []uint8 {
-	ins := s.ins[:0]
-	for pin, net := range s.v.fanin(ci) {
-		val := vals[net]
-		if faultCell != netlist.NoCell && s.fCell == faultCell && pin == s.fPin {
-			val = s.fSA
+		fanin := v.fanin(ci)
+		for p, net := range fanin {
+			ins[p] = b[net] & 0xf
 		}
-		ins = append(ins, val)
+		g := eval3(v.CellKind[ci], ins[:len(fanin)])
+		b[out] = pk(g, g)
 	}
-	return ins
+	return b
 }
 
 // setFault installs fault f and resets both planes to the baseline.
 func (s *sim5) setFault(f fault.Fault) {
+	if s.rec != nil {
+		s.rec.touch(f.Net)
+	}
 	s.installFault(f)
-	copy(s.G, s.baseline)
-	copy(s.F, s.baseline)
+	copy(s.P, s.baseline)
 	s.resetFrontier()
 	s.inject()
 	s.run()
+}
+
+// restore reinstates a snapshotted search state for fault f: planes are
+// copied back, the D-frontier candidate list is restored in its recorded
+// order (inCand is its membership index by invariant), and the sink-effect
+// count is recomputed from the planes. The event queue is empty at every
+// snapshot point (each mutation drains it before control returns), so no
+// queue state is carried.
+func (s *sim5) restore(f fault.Fault, planes []uint8, cand []netlist.CellID) {
+	if s.rec != nil {
+		s.rec.touch(f.Net)
+	}
+	s.installFault(f)
+	copy(s.P, planes)
+	s.cand = append(s.cand[:0], cand...)
+	for i := range s.inCand {
+		s.inCand[i] = false
+	}
+	for _, ci := range cand {
+		s.inCand[ci] = true
+	}
+	s.sinkD = 0
+	for i := range s.dAtSink {
+		s.dAtSink[i] = false
+	}
+	for _, net := range s.v.Sinks {
+		if v := compT[s.P[net]]; v == cD || v == cDB {
+			s.dAtSink[net] = true
+			s.sinkD++
+		}
+	}
 }
 
 // retarget swaps the injected fault while keeping the current source
@@ -121,7 +163,10 @@ func (s *sim5) setFault(f fault.Fault) {
 // dynamic compaction — extending one test cube to additional faults.
 func (s *sim5) retarget(f fault.Fault) {
 	s.installFault(f)
-	copy(s.F, s.G)
+	for i, p := range s.P {
+		g := p & 0xf
+		s.P[i] = g | g<<4
+	}
 	s.resetFrontier()
 	s.inject()
 	s.run()
@@ -162,7 +207,7 @@ func (s *sim5) resetFrontier() {
 func (s *sim5) inject() {
 	if s.fCell == netlist.NoCell {
 		// Stem fault: the faulty plane holds the stuck value.
-		s.F[s.fNet] = s.fSA
+		s.P[s.fNet] = s.P[s.fNet]&0xf | s.fSA<<4
 		s.updateSink(s.fNet)
 		s.enqueueLoads(s.fNet)
 	} else {
@@ -177,18 +222,28 @@ func (s *sim5) enqueue(ci netlist.CellID) {
 	s.queued[ci] = true
 	s.nq++
 	lvl := s.v.Level[ci]
+	if int(lvl) < s.minLvl {
+		s.minLvl = int(lvl)
+	}
 	s.buckets[lvl] = append(s.buckets[lvl], ci)
 }
 
 func (s *sim5) enqueueLoads(net netlist.NetID) {
-	// CombLoadCells is pre-filtered to live combinational cells, so the
-	// Comb check in enqueue is already paid for the whole net.
+	if s.rec != nil {
+		s.rec.touchLoads(net)
+	}
+	// CombLoadCells is pre-filtered to live combinational cells, with the
+	// cell level carried alongside, so the Comb check and the Level lookup
+	// in enqueue are already paid for the whole net.
 	for p, end := s.v.CombLoadIdx[net], s.v.CombLoadIdx[net+1]; p < end; p++ {
 		ci := s.v.CombLoadCells[p]
 		if !s.queued[ci] {
 			s.queued[ci] = true
 			s.nq++
-			lvl := s.v.Level[ci]
+			lvl := s.v.CombLoadLvl[p]
+			if int(lvl) < s.minLvl {
+				s.minLvl = int(lvl)
+			}
 			s.buckets[lvl] = append(s.buckets[lvl], ci)
 		}
 	}
@@ -196,12 +251,14 @@ func (s *sim5) enqueueLoads(net netlist.NetID) {
 
 // assign sets a source (or unassigns it with lX) and repropagates.
 func (s *sim5) assign(net netlist.NetID, val uint8) {
-	s.G[net] = val
+	if s.rec != nil {
+		s.rec.touch(net)
+	}
 	fv := val
 	if s.fCell == netlist.NoCell && net == s.fNet {
 		fv = s.fSA
 	}
-	s.F[net] = fv
+	s.P[net] = pk(val, fv)
 	s.updateSink(net)
 	s.enqueueLoads(net)
 	s.run()
@@ -213,7 +270,7 @@ func (s *sim5) updateSink(net netlist.NetID) {
 	if !s.v.IsSink[net] {
 		return
 	}
-	v := s.comp(net)
+	v := compT[s.P[net]]
 	d := v == cD || v == cDB
 	if d != s.dAtSink[net] {
 		s.dAtSink[net] = d
@@ -225,16 +282,22 @@ func (s *sim5) updateSink(net netlist.NetID) {
 	}
 }
 
-// run drains the event queue level by level. The inner loop fuses what
-// used to be three fanin walks — good-plane gather, faulty-plane gather,
-// and the hasDInput D-frontier scan — into one pass, and skips the
-// faulty-plane evaluation entirely when no input pin differs between the
-// planes (the common case for events outside the fault cone, where the
-// faulty plane just mirrors the good plane).
+// run drains the event queue level by level. Each event gathers the
+// packed pin bytes into two table indices (good nibbles and faulty
+// nibbles, first pin in the highest position), evaluates the good plane
+// with one lookup, and skips the faulty-plane lookup entirely when the
+// indices coincide — the common case for events outside the fault cone,
+// where the faulty plane just mirrors the good plane. The per-pin
+// fault-effect test rides along as a table lookup on the same byte.
 func (s *sim5) run() {
-	var insG, insF [16]uint8
+	P := s.P
 	stem := s.fCell == netlist.NoCell
-	for lvl := 1; lvl < len(s.buckets) && s.nq > 0; lvl++ {
+	start := s.minLvl
+	if start < 1 {
+		start = 1
+	}
+	s.minLvl = len(s.buckets)
+	for lvl := start; lvl < len(s.buckets) && s.nq > 0; lvl++ {
 		bucket := s.buckets[lvl]
 		if len(bucket) == 0 {
 			continue
@@ -244,46 +307,52 @@ func (s *sim5) run() {
 			s.queued[ci] = false
 			s.nq--
 			out := s.v.CellOut[ci]
-			var ng, nf uint8
-			hasD := false
-			if cv := s.v.ConstVal[out]; cv >= 0 {
-				ng, nf = uint8(cv), uint8(cv)
-			} else {
-				fanin := s.v.fanin(ci)
-				faultCell := ci == s.fCell
-				diff := false
-				for pin, net := range fanin {
-					g, f := s.G[net], s.F[net]
-					if faultCell && pin == s.fPin {
-						f = s.fSA
+			if s.rec != nil {
+				s.rec.touch(out)
+				s.rec.touchEvt(out)
+				if s.v.ConstVal[out] < 0 {
+					s.rec.touchDrive(out)
+					for _, net := range s.v.fanin(ci) {
+						s.rec.touch(net)
 					}
-					insG[pin] = g
-					insF[pin] = f
-					if g != f {
-						diff = true
-						if g != lX && f != lX {
-							hasD = true
-						}
-					}
-				}
-				kind := s.v.CellKind[ci]
-				ng = eval3(kind, insG[:len(fanin)])
-				if diff {
-					nf = eval3(kind, insF[:len(fanin)])
-				} else {
-					nf = ng
-				}
-				if stem && out == s.fNet {
-					nf = s.fSA
 				}
 			}
-			changed := ng != s.G[out] || nf != s.F[out]
-			s.G[out], s.F[out] = ng, nf
+			var np uint8
+			hasD := false
+			isConst := false
+			if cv := s.v.ConstVal[out]; cv >= 0 {
+				np = pk(uint8(cv), uint8(cv))
+				isConst = true
+			} else if ci == s.fCell {
+				np, hasD = s.evalFaultCell(ci)
+			} else if li := s.v.CellLUT[ci]; li >= 0 {
+				tab := &evalTabs[li]
+				var gi, fi uint32
+				for _, net := range s.v.fanin(ci) {
+					pb := P[net]
+					gi = gi<<2 | uint32(pb&3)
+					fi = fi<<2 | uint32(pb>>4)
+					hasD = hasD || dT[pb]
+				}
+				ng := tab[gi]
+				nf := ng
+				if gi != fi {
+					nf = tab[fi]
+				}
+				np = pk(ng, nf)
+			} else {
+				np, hasD = s.evalGeneric(ci)
+			}
+			if stem && out == s.fNet && !isConst {
+				np = np&0xf | s.fSA<<4
+			}
+			changed := np != P[out]
+			P[out] = np
 			if changed {
 				s.updateSink(out)
 			}
 			// Track D-frontier candidates.
-			if (ng == lX || nf == lX) && hasD && !s.inCand[ci] {
+			if (np&0xf == lX || np>>4 == lX) && hasD && !s.inCand[ci] {
 				s.inCand[ci] = true
 				s.cand = append(s.cand, ci)
 			}
@@ -295,40 +364,78 @@ func (s *sim5) run() {
 	}
 }
 
-// comp returns the composite five-valued view of a net.
-func (s *sim5) comp(net netlist.NetID) uint8 {
-	g, f := s.G[net], s.F[net]
-	switch {
-	case g == lX || f == lX:
-		return cX
-	case g == f:
-		return g // c0 or c1
-	case g == l1:
-		return cD
-	default:
-		return cDB
+// evalFaultCell evaluates the branch-fault load cell, substituting the
+// stuck value on the faulted pin. At most one cell per event cascade —
+// off the hot path.
+func (s *sim5) evalFaultCell(ci netlist.CellID) (uint8, bool) {
+	var insG, insF [16]uint8
+	hasD := false
+	diff := false
+	fanin := s.v.fanin(ci)
+	for pin, net := range fanin {
+		pb := s.P[net]
+		g, f := pb&0xf, pb>>4
+		if pin == s.fPin {
+			f = s.fSA
+		}
+		insG[pin] = g
+		insF[pin] = f
+		if g != f {
+			diff = true
+			if g != lX && f != lX {
+				hasD = true
+			}
+		}
 	}
+	kind := s.v.CellKind[ci]
+	ng := eval3(kind, insG[:len(fanin)])
+	nf := ng
+	if diff {
+		nf = eval3(kind, insF[:len(fanin)])
+	}
+	return pk(ng, nf), hasD
 }
+
+// evalGeneric evaluates a cell with no precomputed truth table (arities
+// beyond the library's 4-input gates, if any ever appear).
+func (s *sim5) evalGeneric(ci netlist.CellID) (uint8, bool) {
+	var insG, insF [16]uint8
+	hasD := false
+	diff := false
+	fanin := s.v.fanin(ci)
+	for pin, net := range fanin {
+		pb := s.P[net]
+		g, f := pb&0xf, pb>>4
+		insG[pin] = g
+		insF[pin] = f
+		if g != f {
+			diff = true
+			if g != lX && f != lX {
+				hasD = true
+			}
+		}
+	}
+	kind := s.v.CellKind[ci]
+	ng := eval3(kind, insG[:len(fanin)])
+	nf := ng
+	if diff {
+		nf = eval3(kind, insF[:len(fanin)])
+	}
+	return pk(ng, nf), hasD
+}
+
+// comp returns the composite five-valued view of a net.
+func (s *sim5) comp(net netlist.NetID) uint8 { return compT[s.P[net]] }
 
 // pinComp is comp() for a specific cell input pin, honoring branch-fault
 // substitution.
 func (s *sim5) pinComp(ci netlist.CellID, pin int) uint8 {
 	net := s.v.fanin(ci)[pin]
-	g := s.G[net]
-	f := s.F[net]
+	pb := s.P[net]
 	if ci == s.fCell && pin == s.fPin {
-		f = s.fSA
+		pb = pb&0xf | s.fSA<<4
 	}
-	switch {
-	case g == lX || f == lX:
-		return cX
-	case g == f:
-		return g
-	case g == l1:
-		return cD
-	default:
-		return cDB
-	}
+	return compT[pb]
 }
 
 // hasDInput reports whether any input pin of ci carries a fault effect.
@@ -344,7 +451,7 @@ func (s *sim5) hasDInput(ci netlist.CellID) bool {
 // detected reports whether the fault effect has reached any sink.
 func (s *sim5) detected() bool {
 	if s.directObs {
-		return s.G[s.fNet] == 1-s.fSA
+		return s.g(s.fNet) == 1-s.fSA
 	}
 	return s.sinkD > 0
 }
@@ -354,7 +461,7 @@ func (s *sim5) detected() bool {
 func (s *sim5) frontier() []netlist.CellID {
 	out := s.cand[:0]
 	for _, ci := range s.cand {
-		if s.comp(s.v.CellOut[ci]) == cX && s.hasDInput(ci) {
+		if compT[s.P[s.v.CellOut[ci]]] == cX && s.hasDInput(ci) {
 			out = append(out, ci)
 		} else {
 			s.inCand[ci] = false
@@ -371,6 +478,9 @@ func (s *sim5) xpathFrom(net netlist.NetID) bool {
 }
 
 func (s *sim5) xpath(net netlist.NetID) bool {
+	if s.rec != nil {
+		s.rec.touch(net)
+	}
 	if s.v.IsSink[net] {
 		return true
 	}
@@ -378,11 +488,17 @@ func (s *sim5) xpath(net netlist.NetID) bool {
 		return false
 	}
 	s.xpVisit[net] = s.xpEpoch
+	if s.rec != nil {
+		s.rec.touchLoads(net)
+	}
 	// Only combinational loads can extend the path: a flip-flop d pin is
 	// itself a sink net, handled by IsSink above.
 	for _, ci := range s.v.combLoads(net) {
 		out := s.v.CellOut[ci]
-		if s.comp(out) == cX && s.xpath(out) {
+		if s.rec != nil {
+			s.rec.touch(out)
+		}
+		if compT[s.P[out]] == cX && s.xpath(out) {
 			return true
 		}
 	}

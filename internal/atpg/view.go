@@ -44,8 +44,18 @@ type View struct {
 	// load cells only — the set event propagation actually enqueues — so
 	// the hot enqueueLoads loops scan a dense int32 array instead of
 	// filtering the full Load list (POs, flip-flops) on every event.
+	// CombLoadLvl carries each load cell's level alongside, sparing the
+	// enqueue loop one random access into Level per load.
 	CombLoadIdx   []int32
 	CombLoadCells []netlist.CellID
+	CombLoadLvl   []int32
+
+	// CellLUT indexes each combinational cell's three-valued truth table
+	// in evalTabs (-1 = evaluate generically via eval3). A table is the
+	// cell function enumerated over all 2-bit-packed input combinations,
+	// so the event loop evaluates a gate with one load instead of a kind
+	// switch and a pin loop.
+	CellLUT []int16
 
 	// CellKind and CellOut are flat per-CellID copies of the instance
 	// kind and output net, so hot simulation loops touch two dense
@@ -103,13 +113,22 @@ func NewView(n *netlist.Netlist, constraints map[netlist.NetID]int8) (*View, err
 		v.CombLoadIdx[i] += v.CombLoadIdx[i-1]
 	}
 	v.CombLoadCells = make([]netlist.CellID, v.CombLoadIdx[len(n.Nets)])
+	v.CombLoadLvl = make([]int32, len(v.CombLoadCells))
 	cursor := append([]int32(nil), v.CombLoadIdx[:len(n.Nets)]...)
 	for id := range n.Nets {
 		for _, ld := range v.CSR.Fanout(netlist.NetID(id)) {
 			if ld.Cell != netlist.NoCell && lv.CellLevel[ld.Cell] >= 0 {
 				v.CombLoadCells[cursor[id]] = ld.Cell
+				v.CombLoadLvl[cursor[id]] = int32(lv.CellLevel[ld.Cell])
 				cursor[id]++
 			}
+		}
+	}
+	v.CellLUT = make([]int16, len(n.Cells))
+	for i := range n.Cells {
+		v.CellLUT[i] = -1
+		if v.Comb(netlist.CellID(i)) {
+			v.CellLUT[i] = lutFor(v.CellKind[i], len(v.fanin(netlist.CellID(i))))
 		}
 	}
 	for i := range v.SourceOf {
@@ -265,4 +284,108 @@ func or3n(in []uint8) uint8 {
 		}
 	}
 	return r
+}
+
+// evalTabs holds one 256-entry truth table per (kind, fanin-count) pair
+// used by the library: entry i is eval3 of the cell over the inputs
+// packed two bits per pin into i (first pin in the highest-order
+// position). With at most four inputs the packed index never exceeds
+// 0xAA, so a fixed 256-byte table covers every arity uniformly and the
+// whole registry stays a few kilobytes — permanently L1-resident.
+var evalTabs [][256]uint8
+
+// lutKey maps a (kind, nin) pair to its evalTabs index, or -1.
+var lutKey = map[int32]int16{}
+
+func init() {
+	combos := []struct {
+		kind stdcell.Kind
+		nins []int
+	}{
+		{stdcell.KindInv, []int{1}},
+		{stdcell.KindBuf, []int{1}},
+		{stdcell.KindAnd, []int{2, 3, 4}},
+		{stdcell.KindNand, []int{2, 3, 4}},
+		{stdcell.KindOr, []int{2, 3, 4}},
+		{stdcell.KindNor, []int{2, 3, 4}},
+		{stdcell.KindXor, []int{2}},
+		{stdcell.KindXnor, []int{2}},
+		{stdcell.KindAoi21, []int{3}},
+		{stdcell.KindOai21, []int{3}},
+		{stdcell.KindMux2, []int{3}},
+	}
+	var in [4]uint8
+	for _, c := range combos {
+		for _, nin := range c.nins {
+			var tab [256]uint8
+			total := 1
+			for i := 0; i < nin; i++ {
+				total *= 4
+			}
+			for idx := 0; idx < total; idx++ {
+				ok := true
+				for p := 0; p < nin; p++ {
+					v := uint8(idx>>(2*(nin-1-p))) & 3
+					if v > lX {
+						ok = false
+						break
+					}
+					in[p] = v
+				}
+				if !ok {
+					continue
+				}
+				tab[idx] = eval3(c.kind, in[:nin])
+			}
+			lutKey[int32(c.kind)<<8|int32(nin)] = int16(len(evalTabs))
+			evalTabs = append(evalTabs, tab)
+		}
+	}
+}
+
+// lutFor returns the evalTabs index for a cell shape, or -1 when the
+// shape has no precomputed table (the event loop then falls back to
+// eval3).
+func lutFor(kind stdcell.Kind, nin int) int16 {
+	if id, ok := lutKey[int32(kind)<<8|int32(nin)]; ok {
+		return id
+	}
+	return -1
+}
+
+// The simulator packs both planes of a net into one byte — good value in
+// the low nibble, faulty value in the high nibble — so the event loop
+// fetches a pin's full state with a single load and classifies it with
+// 256-entry lookup tables.
+const pX = lX | lX<<4 // both planes X
+
+// pk packs a (good, faulty) pair.
+func pk(g, f uint8) uint8 { return g | f<<4 }
+
+var (
+	// compT maps a packed byte to the composite five-valued code.
+	compT [256]uint8
+	// dT marks packed bytes carrying a fault effect (both planes bound
+	// and different — the D/D̄ detector of the event loop).
+	dT [256]bool
+)
+
+func init() {
+	for b := 0; b < 256; b++ {
+		g, f := uint8(b)&0xf, uint8(b)>>4
+		if g > lX || f > lX {
+			continue
+		}
+		switch {
+		case g == lX || f == lX:
+			compT[b] = cX
+		case g == f:
+			compT[b] = g
+		case g == l1:
+			compT[b] = cD
+		default:
+			compT[b] = cDB
+		}
+		dT[b] = g != f && g != lX && f != lX
+	}
 }

@@ -91,6 +91,9 @@ func (c *Config) Validate() error {
 	if c.TimingOptRounds < 0 {
 		bad = append(bad, fmt.Sprintf("TimingOptRounds %d negative", c.TimingOptRounds))
 	}
+	if c.SweepMode != SweepFull && c.SweepMode != SweepIncremental {
+		bad = append(bad, fmt.Sprintf("SweepMode %d unknown (want SweepFull or SweepIncremental)", int(c.SweepMode)))
+	}
 	if len(bad) == 0 {
 		return nil
 	}

@@ -92,6 +92,25 @@ type Config struct {
 	Route route.Options
 	STA   sta.Options
 
+	// SweepMode selects full per-level reruns (the default oracle path)
+	// or the incremental cross-level engine. Single runs ignore it; see
+	// SweepMode's doc for the exactness contract.
+	SweepMode SweepMode
+
+	// ATPGMemo threads the cross-level PODEM memo through an incremental
+	// sweep: each level replays the previous levels' still-valid searches
+	// and records its own for the next. The memo is exact (results stay
+	// bit-identical; see atpg.Memo), but measured net-negative on the
+	// paper's sweeps — each level's TSFF retrofits land in nearly every
+	// search's evaluated-driver footprint, so almost all entries
+	// invalidate (replay rate ≈ 0 on s38417c) and the footprint
+	// recording the misses pay costs ~23% sweep time and 3× allocations
+	// for nothing. Off by default for that reason; the switch exists
+	// because denser TP spacing shrinks the per-link edit and tilts the
+	// balance. Ignored outside SweepIncremental; DESIGN.md §14 has the
+	// ablation numbers.
+	ATPGMemo bool
+
 	// SkipATPG runs only the physical side (steps 2–6); Table 2/3
 	// sweeps do not need patterns.
 	SkipATPG bool
@@ -208,7 +227,15 @@ func RunContext(ctx context.Context, design *netlist.Netlist, cfg Config) (*Resu
 // design directly and Result.Netlist is design itself. Callers that
 // already hold a private copy (the sweep engine clones once per level
 // from a prewarmed base circuit) use this to avoid the double clone.
-func RunInPlace(ctx context.Context, design *netlist.Netlist, cfg Config) (res *Result, err error) {
+func RunInPlace(ctx context.Context, design *netlist.Netlist, cfg Config) (*Result, error) {
+	return runInPlace(ctx, design, cfg, nil)
+}
+
+// runInPlace executes the flow, optionally under an incremental-sweep
+// chain: with a non-nil chain the TPI stage resumes from the inbound
+// artifacts' point prefix (design must then be a clone of the artifact
+// netlist) and captures outbound artifacts for the next level.
+func runInPlace(ctx context.Context, design *netlist.Netlist, cfg Config, chain *chainState) (res *Result, err error) {
 	if verr := cfg.Validate(); verr != nil {
 		return nil, newStageError(StageConfig, cfg.TPPercent, verr)
 	}
@@ -267,14 +294,43 @@ func RunInPlace(ctx context.Context, design *netlist.Netlist, cfg Config) (res *
 	if err := enter(StageTPI); err != nil {
 		return nil, err
 	}
+	// Under an incremental chain, n is a clone of the previous level's
+	// post-TPI snapshot: the TP budget must be computed against the base
+	// design's flip-flop count (the snapshot already contains one TSFF
+	// per previous point), and insertion resumes from the existing
+	// points. tpi.Resume's tail is byte-identical to a from-scratch
+	// insertion, so everything downstream is too.
 	ffBefore := n.NumFlipFlops()
+	if chain != nil && chain.in != nil {
+		ffBefore = chain.in.baseFF
+	}
 	tpCount := int(math.Round(cfg.TPPercent / 100 * float64(ffBefore)))
-	tps, err := tpi.Insert(n, tpi.Options{Count: tpCount, Exclude: cfg.ExcludeNets})
+	var tps *tpi.Result
+	if chain != nil && chain.in != nil {
+		tps, err = tpi.Resume(n, chain.in.tps, tpi.Options{Count: tpCount, Exclude: cfg.ExcludeNets})
+	} else {
+		tps, err = tpi.Insert(n, tpi.Options{Count: tpCount, Exclude: cfg.ExcludeNets})
+	}
 	if err != nil {
 		return nil, fail(err)
 	}
 	res.TPs = tps
 	stageSpan.Counter("tpi.points").Add(int64(len(tps.Points)))
+	if chain != nil {
+		// Snapshot for the next level: post-TPI, pre-scan, prewarmed so
+		// the next clone shares the derived caches (the prewarm itself
+		// rides the incremental re-levelizer over the TPI edit log).
+		snap := n.Clone()
+		snap.Prewarm()
+		memo := chain.memo
+		if memo == nil && cfg.ATPGMemo {
+			memo = atpg.NewMemo()
+		}
+		chain.out = &LevelArtifacts{
+			netlist: snap, tps: tps, baseFF: ffBefore,
+			tpCount: len(tps.Points), memo: memo,
+		}
+	}
 	if err := enter(StageScan); err != nil {
 		return nil, err
 	}
@@ -308,6 +364,12 @@ func RunInPlace(ctx context.Context, design *netlist.Netlist, cfg Config) (res *
 		set := fault.NewUniverse(n)
 		aopt := cfg.ATPG
 		aopt.Telemetry = stageSpan
+		if chain != nil && chain.out != nil && chain.out.memo != nil && aopt.Memo == nil {
+			// Replay the previous levels' PODEM searches (Config.ATPGMemo);
+			// the memo's per-entry validation keeps the result bit-identical
+			// to an unmemoized run.
+			aopt.Memo = chain.out.memo
+		}
 		if aopt.Workers == 0 {
 			aopt.Workers = cfg.Workers
 		}
@@ -421,6 +483,17 @@ func RunInPlace(ctx context.Context, design *netlist.Netlist, cfg Config) (res *
 	}
 
 	res.fillMetrics(tpCount, fillerArea)
+	// Incremental re-levelization accounting: the wall time the run's
+	// analyses (ATPG view builds, STA, SCOAP) saved by releveling only
+	// edited fanout cones instead of the whole graph. One counter for the
+	// run total, one histogram observation per run for distributions
+	// across sweep levels.
+	if ls := n.LevelizeStats(); ls.Incremental > 0 {
+		runSpan.Counter("flow.sta_incremental_ns").Add(ls.IncrementalNS)
+		runSpan.Histogram("flow.sta_incremental_ns").Observe(ls.IncrementalNS)
+		runSpan.Counter("flow.relevel_incremental").Add(int64(ls.Incremental))
+		runSpan.Counter("flow.relevel_full").Add(int64(ls.Full + ls.Fallback))
+	}
 	endStage(nil)
 	runSpan.End()
 	res.Telemetry = runSpan.Snapshot()

@@ -3,7 +3,9 @@ package flow
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -118,6 +120,53 @@ func RunLevel(ctx context.Context, base *netlist.Netlist, cfg Config, pct float6
 	return out
 }
 
+// RunLevelChained is RunLevel with the incremental cross-level engine:
+// when prev (the previous level's artifacts) is non-nil and its test-point
+// prefix fits under this level's budget, the level runs on a clone of the
+// previous level's post-TPI snapshot — resuming TPI, releveling only the
+// edited cones, and (with cfg.ATPGMemo) replaying memoized PODEM searches
+// — instead of the pristine base. It returns this level's artifacts for
+// the next link of the chain (nil only when the TPI stage itself did not
+// complete); the ATPG memo threads through even across a cold-start link.
+// Both paths produce bit-identical LevelResults, and a failed level leaves
+// the chain intact because the caller keeps the last good artifacts. Like
+// RunLevel it never panics.
+func RunLevelChained(ctx context.Context, base *netlist.Netlist, cfg Config, pct float64, prev *LevelArtifacts) (out LevelResult, arts *LevelArtifacts) {
+	out.TPPercent = pct
+	defer func() {
+		if r := recover(); r != nil {
+			pe := supervise.AsPanicError(r)
+			out.Err = &StageError{Stage: StageSweep, TPPercent: pct, Err: pe, Stack: pe.Stack}
+		}
+	}()
+	c := cfg
+	c.TPPercent = pct
+	// The resume prefix must fit under this level's budget: a level with
+	// fewer points than the artifact snapshot already contains falls back
+	// to the pristine base (the memo still carries over).
+	chain := &chainState{}
+	src := base
+	if prev != nil {
+		chain.memo = prev.memo
+		budget := int(math.Round(pct / 100 * float64(prev.baseFF)))
+		if prev.tpCount <= budget {
+			chain.in = prev
+			src = prev.netlist
+		}
+	}
+	// Each level runs in place on its own clone, so the shared base (or
+	// artifact snapshot) stays strictly read-only and the flow pays no
+	// second defensive clone.
+	r, err := runInPlace(ctx, src.Clone(), c, chain)
+	arts = chain.out
+	if err != nil {
+		out.Err = err
+		return out, arts
+	}
+	out.Metrics = r.Metrics
+	return out, arts
+}
+
 // SweepPartial is the graceful-degradation sweep: it runs every level and
 // returns one LevelResult per TP percentage, in input order, so a failed,
 // panicked, or timed-out level is reported in place while completed
@@ -144,6 +193,33 @@ func SweepPartial(ctx context.Context, design *netlist.Netlist, cfg Config, tpPe
 	}
 	defer sweepSpan.End()
 	base := PrewarmBase(design)
+
+	if cfg.SweepMode == SweepIncremental {
+		// Serialized level chain in ascending TP order: each level's
+		// artifacts (TPI prefix, prewarmed snapshot, ATPG memo) feed the
+		// next, and results land back in input order. The worker pool
+		// applies inside each level's fault-simulation shards instead of
+		// across levels; results stay bit-identical to full mode.
+		order := make([]int, len(tpPercents))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return tpPercents[order[a]] < tpPercents[order[b]]
+		})
+		var arts *LevelArtifacts
+		for _, i := range order {
+			c := cfg
+			c.TelemetrySpan = sweepSpan
+			lr, next := RunLevelChained(ctx, base, c, tpPercents[i], arts)
+			out[i] = lr
+			if next != nil {
+				arts = next
+			}
+		}
+		return out, nil
+	}
+
 	runLevel := func(i int) {
 		c := cfg
 		c.TelemetrySpan = sweepSpan

@@ -3,6 +3,7 @@ package netlist_test
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"tpilayout/internal/circuitgen"
@@ -42,7 +43,9 @@ func referenceAdjacency(n *netlist.Netlist) (fan [][]netlist.Load, fanin [][]net
 }
 
 // referenceLevelize is an independent Kahn levelization over the naive
-// adjacency, mirroring Levelize's source/sink semantics and FIFO order.
+// adjacency, mirroring Levelize's source/sink semantics. Order is
+// canonically (level, cell ID); the reference realizes that with a plain
+// comparison sort, independent of Levelize's counting sort.
 func referenceLevelize(n *netlist.Netlist, fan [][]netlist.Load) *netlist.Levels {
 	combDriven := func(net netlist.NetID) bool {
 		d := n.Nets[net].Driver
@@ -105,6 +108,13 @@ func referenceLevelize(n *netlist.Netlist, fan [][]netlist.Load) *netlist.Levels
 			}
 		}
 	}
+	sort.Slice(lv.Order, func(i, j int) bool {
+		a, b := lv.Order[i], lv.Order[j]
+		if lv.CellLevel[a] != lv.CellLevel[b] {
+			return lv.CellLevel[a] < lv.CellLevel[b]
+		}
+		return a < b
+	})
 	return lv
 }
 

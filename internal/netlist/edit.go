@@ -54,7 +54,12 @@ func (n *Netlist) SwapCell(id CellID, newCellName string, extra map[string]NetID
 	if sameConn {
 		n.dirtyAttr()
 	} else {
-		n.dirty()
+		// Old and new pin nets plus the output: a kind change can flip
+		// whether the output counts as combinationally driven.
+		n.dirtyNet(inst.Ins...)
+		n.dirtyNet(ins...)
+		n.dirtyNet(inst.Out)
+		n.dirtyCell(id)
 	}
 	inst.Cell = nc
 	inst.Ins = ins
@@ -65,7 +70,7 @@ func (n *Netlist) SwapCell(id CellID, newCellName string, extra map[string]NetID
 // currently on from are ignored. Primary-output loads are moved too when
 // included in loads.
 func (n *Netlist) MoveLoads(from, to NetID, loads []Load) {
-	n.dirty()
+	n.dirtyNet(from, to)
 	for _, ld := range loads {
 		if ld.Cell != NoCell {
 			if n.Cells[ld.Cell].Ins[ld.Pin] == from {
@@ -101,13 +106,16 @@ func (n *Netlist) InsertOnNet(name, cellName string, net NetID, loads []Load) (C
 
 // SetInput rewires a single input pin of a cell to a different net.
 func (n *Netlist) SetInput(id CellID, pin int, net NetID) {
-	n.dirty()
+	n.dirtyNet(n.Cells[id].Ins[pin], net)
+	n.dirtyCell(id)
 	n.Cells[id].Ins[pin] = net
 }
 
 // KillCell marks an instance dead and releases its output net's driver.
 func (n *Netlist) KillCell(id CellID) {
-	n.dirty()
+	n.dirtyNet(n.Cells[id].Ins...)
+	n.dirtyNet(n.Cells[id].Out)
+	n.dirtyCell(id)
 	inst := &n.Cells[id]
 	inst.Dead = true
 	if inst.Out != NoNet && n.Nets[inst.Out].Driver == id {
@@ -185,6 +193,10 @@ func (n *Netlist) Clone() *Netlist {
 		fanoutsRev: n.fanoutsRev,
 		levels:     n.levels,
 		levelsRev:  n.levelsRev,
+
+		dirtyNets:  append([]NetID(nil), n.dirtyNets...),
+		dirtyCells: append([]CellID(nil), n.dirtyCells...),
+		dirtyAll:   n.dirtyAll,
 	}
 	for i := range n.Cells {
 		c := n.Cells[i]

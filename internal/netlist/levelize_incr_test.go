@@ -1,0 +1,214 @@
+package netlist
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tpilayout/internal/stdcell"
+)
+
+// buildChain constructs a small random DAG netlist directly through the
+// edit primitives (circuitgen lives above this package).
+func buildChain(t *testing.T, seed int64, gates int) (*Netlist, *rand.Rand) {
+	t.Helper()
+	lib := stdcell.Default()
+	n := New("incr", lib)
+	n.AddClockPI("clk", 8000)
+	rng := rand.New(rand.NewSource(seed))
+	var nets []NetID
+	for i := 0; i < 6; i++ {
+		nets = append(nets, n.AddPI(fmt.Sprintf("in%d", i)))
+	}
+	inv := lib.MustCell("INVX1")
+	nand := lib.MustCell("NAND2X1")
+	for i := 0; i < gates; i++ {
+		out := n.AddNet(fmt.Sprintf("g%d", i))
+		if rng.Intn(3) == 0 {
+			n.AddCell(fmt.Sprintf("u%d", i), inv, []NetID{nets[rng.Intn(len(nets))]}, out)
+		} else {
+			a, b := nets[rng.Intn(len(nets))], nets[rng.Intn(len(nets))]
+			n.AddCell(fmt.Sprintf("u%d", i), nand, []NetID{a, b}, out)
+		}
+		nets = append(nets, out)
+	}
+	for i := 0; i < 4; i++ {
+		n.AddPO(fmt.Sprintf("out%d", i), nets[len(nets)-1-i])
+	}
+	return n, rng
+}
+
+func requireSameLevels(t *testing.T, label string, got, want *Levels) {
+	t.Helper()
+	if got.MaxLevel != want.MaxLevel {
+		t.Fatalf("%s: MaxLevel = %d, want %d", label, got.MaxLevel, want.MaxLevel)
+	}
+	if len(got.Order) != len(want.Order) {
+		t.Fatalf("%s: |Order| = %d, want %d", label, len(got.Order), len(want.Order))
+	}
+	for i := range want.Order {
+		if got.Order[i] != want.Order[i] {
+			t.Fatalf("%s: Order[%d] = %d, want %d", label, i, got.Order[i], want.Order[i])
+		}
+	}
+	for ci := range want.CellLevel {
+		if got.CellLevel[ci] != want.CellLevel[ci] {
+			t.Fatalf("%s: CellLevel[%d] = %d, want %d", label, ci, got.CellLevel[ci], want.CellLevel[ci])
+		}
+	}
+	for id := range want.NetLevel {
+		if got.NetLevel[id] != want.NetLevel[id] {
+			t.Fatalf("%s: NetLevel[%d] = %d, want %d", label, id, got.NetLevel[id], want.NetLevel[id])
+		}
+	}
+}
+
+// TestRelevelIncrementalMatchesFull drives every edit primitive through
+// random sequences and checks after each batch that the incremental
+// relevel is bit-identical to a from-scratch Kahn rebuild.
+func TestRelevelIncrementalMatchesFull(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			n, rng := buildChain(t, seed, 120)
+			n.Prewarm()
+			for round := 0; round < 8; round++ {
+				revBefore := n.connRev
+				for e := 0; e < 3; e++ {
+					switch rng.Intn(4) {
+					case 0: // series buffer insertion (the TPI edit shape)
+						id := NetID(rng.Intn(len(n.Nets)))
+						if !n.Nets[id].Dead {
+							n.InsertOnNet(fmt.Sprintf("b%d_%d", round, e), "BUFX1", id, nil)
+						}
+					case 1: // partial load move
+						from := NetID(rng.Intn(len(n.Nets)))
+						loads := n.Fanouts()[from]
+						if len(loads) > 1 {
+							to := n.AddNet(fmt.Sprintf("mv%d_%d", round, e))
+							buf := n.Lib.MustCell("BUFX1")
+							n.AddCell(fmt.Sprintf("mb%d_%d", round, e), buf, []NetID{from}, to)
+							n.MoveLoads(from, to, loads[:1])
+						}
+					case 2: // kill a fanout-free cell
+						for tries := 0; tries < 8; tries++ {
+							ci := CellID(rng.Intn(len(n.Cells)))
+							c := &n.Cells[ci]
+							if c.Dead || c.Cell.Kind.IsSequential() || c.Out == NoNet {
+								continue
+							}
+							if len(n.Fanouts()[c.Out]) == 0 {
+								n.KillCell(ci)
+								break
+							}
+						}
+					case 3: // connectivity-changing swap (INV -> BUF)
+						for tries := 0; tries < 8; tries++ {
+							ci := CellID(rng.Intn(len(n.Cells)))
+							c := &n.Cells[ci]
+							if !c.Dead && c.Cell.Name == "INVX1" {
+								if err := n.SwapCell(ci, "BUFX1", nil); err != nil {
+									t.Fatal(err)
+								}
+								break
+							}
+						}
+					}
+				}
+				if n.connRev == revBefore {
+					continue // every edit candidate no-oped this round
+				}
+				before := n.levStats
+				got, err := n.Levelize()
+				if err != nil {
+					t.Fatalf("round %d: Levelize: %v", round, err)
+				}
+				if n.levStats.Incremental != before.Incremental+1 || n.levStats.Fallback != before.Fallback {
+					t.Fatalf("round %d: incremental path not taken: %+v -> %+v", round, before, n.levStats)
+				}
+				want, err := n.levelize()
+				if err != nil {
+					t.Fatalf("round %d: full levelize: %v", round, err)
+				}
+				requireSameLevels(t, fmt.Sprintf("round %d", round), got, want)
+			}
+		})
+	}
+}
+
+// TestRelevelIncrementalCloneIsolation checks that a clone relevels
+// incrementally off the shared prewarmed cache without disturbing the
+// parent's cached levelization.
+func TestRelevelIncrementalCloneIsolation(t *testing.T) {
+	n, _ := buildChain(t, 99, 80)
+	n.Prewarm()
+	parentLv := n.levels
+	c := n.Clone()
+	c.InsertOnNet("tb", "BUFX1", c.Cells[len(c.Cells)/2].Out, nil)
+	got, err := c.Levelize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.levStats.Incremental != 1 {
+		t.Fatalf("clone did not relevel incrementally: %+v", c.levStats)
+	}
+	want, err := c.levelize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameLevels(t, "clone", got, want)
+	if n.levels != parentLv {
+		t.Fatal("edit on clone disturbed parent's cached levelization")
+	}
+	if lv, err := n.Levelize(); err != nil || lv != parentLv {
+		t.Fatalf("parent lost its cached levelization (%p vs %p, err %v)", lv, parentLv, err)
+	}
+}
+
+// TestRelevelIncrementalCycleFallback checks that an edit-created
+// combinational cycle trips the worklist budget, falls back to the full
+// rebuild, and surfaces the cycle error.
+func TestRelevelIncrementalCycleFallback(t *testing.T) {
+	n, _ := buildChain(t, 7, 60)
+	n.Prewarm()
+	// Find a 2-input gate and feed its own (transitive) output back in.
+	var victim CellID = NoCell
+	for ci := range n.Cells {
+		c := &n.Cells[ci]
+		if !c.Dead && len(c.Ins) == 2 && c.Out != NoNet && len(n.Fanouts()[c.Out]) > 0 {
+			victim = CellID(ci)
+		}
+	}
+	if victim == NoCell {
+		t.Skip("no suitable gate")
+	}
+	n.SetInput(victim, 0, n.Cells[victim].Out)
+	if _, err := n.Levelize(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+	if n.levStats.Fallback != 1 {
+		t.Fatalf("expected incremental bail before the full rebuild: %+v", n.levStats)
+	}
+}
+
+// TestDirtyPoisonForcesFull checks that an unattributed edit (direct
+// dirty()) disables the incremental path until the next full rebuild.
+func TestDirtyPoisonForcesFull(t *testing.T) {
+	n, _ := buildChain(t, 11, 60)
+	n.Prewarm()
+	n.dirty()
+	if _, err := n.Levelize(); err != nil {
+		t.Fatal(err)
+	}
+	if n.levStats.Full != 2 || n.levStats.Incremental != 0 {
+		t.Fatalf("poisoned log should force a full rebuild: %+v", n.levStats)
+	}
+	// The poison clears with the rebuild: the next logged edit relevels
+	// incrementally again.
+	n.InsertOnNet("tb", "BUFX1", n.Cells[0].Out, nil)
+	if _, err := n.Levelize(); err != nil {
+		t.Fatal(err)
+	}
+	if n.levStats.Incremental != 1 {
+		t.Fatalf("log did not recover after full rebuild: %+v", n.levStats)
+	}
+}

@@ -114,7 +114,33 @@ type Netlist struct {
 	fanoutsRev uint64
 	levels     *Levels
 	levelsRev  uint64
+
+	// Epoch-stamped edit log: the nets and cells touched by connectivity
+	// edits since the cached levelization was built. While dirtyAll is
+	// false, Levelize can re-levelize incrementally by sweeping only the
+	// fanout cones of the logged nets instead of the whole graph. Edit
+	// primitives that know their footprint call dirtyNet/dirtyCell; any
+	// edit that cannot name its footprint calls dirty(), which poisons
+	// the log and forces the next levelization to run from scratch.
+	dirtyNets  []NetID
+	dirtyCells []CellID
+	dirtyAll   bool
+	levStats   LevStats
 }
+
+// LevStats counts how the levelization cache was (re)built, and the time
+// spent on the incremental path. Clones start with zeroed counters.
+type LevStats struct {
+	Full        uint64 // full Kahn rebuilds
+	Incremental uint64 // worklist relevels over the edit log
+	Fallback    uint64 // incremental attempts that bailed to a full rebuild
+	// IncrementalNS is the wall time spent in successful incremental
+	// relevels (the time a full rebuild would otherwise have absorbed).
+	IncrementalNS int64
+}
+
+// LevelizeStats returns this netlist's levelization rebuild counters.
+func (n *Netlist) LevelizeStats() LevStats { return n.levStats }
 
 // Load is one sink of a net: either pin Pin of cell Cell, or primary
 // output PO (index into POs) when Cell == NoCell.
@@ -131,9 +157,10 @@ func New(name string, lib *stdcell.Library) *Netlist {
 
 // AddNet creates a net with no driver and returns its ID.
 func (n *Netlist) AddNet(name string) NetID {
-	n.dirty()
 	n.Nets = append(n.Nets, Net{Name: name, Driver: NoCell, PI: -1, Const: -1})
-	return NetID(len(n.Nets) - 1)
+	id := NetID(len(n.Nets) - 1)
+	n.dirtyNet(id)
+	return id
 }
 
 // AddConst creates (or returns an existing) constant-0 or constant-1 net.
@@ -150,7 +177,6 @@ func (n *Netlist) AddConst(v int) NetID {
 
 // AddPI creates a primary input port and its net.
 func (n *Netlist) AddPI(name string) NetID {
-	n.dirty()
 	id := n.AddNet(name)
 	n.PIs = append(n.PIs, Port{Name: name, Net: id, Domain: -1})
 	n.Nets[id].PI = len(n.PIs) - 1
@@ -171,7 +197,7 @@ func (n *Netlist) AddClockPI(name string, period float64) (NetID, int) {
 
 // AddPO marks a net as a primary output.
 func (n *Netlist) AddPO(name string, net NetID) {
-	n.dirty()
+	n.dirtyNet(net)
 	n.POs = append(n.POs, Port{Name: name, Net: net, Domain: -1})
 }
 
@@ -183,8 +209,10 @@ func (n *Netlist) AddCell(name string, cell *stdcell.Cell, ins []NetID, out NetI
 		panic(fmt.Sprintf("netlist: cell %s (%s) given %d inputs, wants %d",
 			name, cell.Name, len(ins), len(cell.Inputs)))
 	}
-	n.dirty()
+	n.dirtyNet(ins...)
+	n.dirtyNet(out)
 	id := CellID(len(n.Cells))
+	n.dirtyCell(id)
 	n.Cells = append(n.Cells, Instance{
 		Name:   name,
 		Cell:   cell,
@@ -207,10 +235,48 @@ func (n *Netlist) Cell(id CellID) *Instance { return &n.Cells[id] }
 // Net returns the net for id.
 func (n *Netlist) Net(id NetID) *Net { return &n.Nets[id] }
 
-// dirty invalidates derived indices after a connectivity edit. It is the
-// conservative default; edits that provably keep the net↔pin graph intact
-// call dirtyAttr instead.
-func (n *Netlist) dirty() { n.connRev++ }
+// dirty invalidates derived indices after a connectivity edit whose
+// footprint is unknown: it poisons the edit log, so the next levelization
+// rebuilds from scratch. Edits that can name the nets they touch call
+// dirtyNet instead; edits that provably keep the net↔pin graph intact
+// call dirtyAttr.
+func (n *Netlist) dirty() {
+	n.connRev++
+	n.dirtyAll = true
+	n.dirtyNets, n.dirtyCells = nil, nil
+}
+
+// dirtyLogCap bounds the edit log: past this many entries a full rebuild
+// is cheaper than replaying the log, so the log poisons itself.
+const dirtyLogCap = 1 << 14
+
+// dirtyNet records a connectivity edit that touches exactly the given
+// nets (every net whose driver, load set, or load pins changed).
+func (n *Netlist) dirtyNet(nets ...NetID) {
+	n.connRev++
+	if n.dirtyAll {
+		return
+	}
+	for _, net := range nets {
+		if net != NoNet {
+			n.dirtyNets = append(n.dirtyNets, net)
+		}
+	}
+	if len(n.dirtyNets)+len(n.dirtyCells) > dirtyLogCap {
+		n.dirtyAll = true
+		n.dirtyNets, n.dirtyCells = nil, nil
+	}
+}
+
+// dirtyCell records a cell whose liveness or pin map changed, alongside
+// the dirtyNet entries of the nets it touches. It does not bump connRev —
+// it always accompanies a dirtyNet call that does.
+func (n *Netlist) dirtyCell(id CellID) {
+	if n.dirtyAll {
+		return
+	}
+	n.dirtyCells = append(n.dirtyCells, id)
+}
 
 // dirtyAttr records an attribute-only edit (cell variant swap with an
 // identical pin→net mapping): adjacency, levelization, and the CSR stay

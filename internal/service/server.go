@@ -10,6 +10,7 @@ import (
 	mrand "math/rand"
 	"net/http"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -195,6 +196,12 @@ type Options struct {
 	// restart on the same directory replays retired results, level
 	// checkpoints, and unfinished jobs. Empty = purely in-memory.
 	DataDir string
+	// DefaultSweepMode is applied to submissions that leave
+	// flow.sweep_mode empty ("full" when empty itself). It is resolved at
+	// admission and journaled with the job, so a crash-restarted job
+	// resumes in the mode it was admitted with even if the daemon
+	// restarts with a different default. Invalid values fail Open.
+	DefaultSweepMode string
 	// Retry governs per-level retries of transient failures (panics,
 	// deadlines); zero fields take the RetryPolicy defaults.
 	Retry RetryPolicy
@@ -206,10 +213,10 @@ type Options struct {
 	JournalSegmentBytes int64
 
 	// Test hooks (same-package tests only).
-	journalNoSync bool                    // skip per-append fsync
-	journalHook   func(journal.Op) error  // fault injection into the journal
-	stageHook     func(string, float64)   // fault injection into flow stages
-	replayGate    chan struct{}           // replay blocks until closed (readyz tests)
+	journalNoSync bool                   // skip per-append fsync
+	journalHook   func(journal.Op) error // fault injection into the journal
+	stageHook     func(string, float64)  // fault injection into flow stages
+	replayGate    chan struct{}          // replay blocks until closed (readyz tests)
 }
 
 func (o *Options) withDefaults() Options {
@@ -284,9 +291,12 @@ type Server struct {
 	// with a stub to exercise queueing/fairness/shutdown without paying
 	// for real layouts. runLevel executes ONE level inside the real
 	// checkpoint/retry driver; chaos tests replace it to inject level
-	// failures while the driver itself stays under test.
-	runFlow  func(r *run) (*JobResult, error)
-	runLevel func(rn *run, base *netlist.Netlist, cfg flow.Config, pct float64) flow.LevelResult
+	// failures while the driver itself stays under test. runLevelChained
+	// is its incremental-mode twin, threading the previous level's
+	// artifacts into the next link of the chain.
+	runFlow         func(r *run) (*JobResult, error)
+	runLevel        func(rn *run, base *netlist.Netlist, cfg flow.Config, pct float64) flow.LevelResult
+	runLevelChained func(rn *run, base *netlist.Netlist, cfg flow.Config, pct float64, prev *flow.LevelArtifacts) (flow.LevelResult, *flow.LevelArtifacts)
 
 	shutdownCh chan struct{}
 	shutdownMu sync.Mutex
@@ -317,12 +327,18 @@ func Open(opt Options) (*Server, error) {
 		active:     map[*run]bool{},
 		shutdownCh: make(chan struct{}),
 	}
+	if _, err := flow.ParseSweepMode(s.opt.DefaultSweepMode); err != nil {
+		return nil, fmt.Errorf("service: default sweep mode: %w", err)
+	}
 	s.queue = newFairQueue(s.opt.QueueDepth)
 	s.cache = newResultCache(s.opt.CacheBytes)
 	s.checkpoints = newCheckpointStore(0)
 	s.runFlow = s.sweepRun
 	s.runLevel = func(rn *run, base *netlist.Netlist, cfg flow.Config, pct float64) flow.LevelResult {
 		return flow.RunLevel(rn.ctx, base, cfg, pct)
+	}
+	s.runLevelChained = func(rn *run, base *netlist.Netlist, cfg flow.Config, pct float64, prev *flow.LevelArtifacts) (flow.LevelResult, *flow.LevelArtifacts) {
+		return flow.RunLevelChained(rn.ctx, base, cfg, pct, prev)
 	}
 
 	if s.opt.DataDir != "" {
@@ -416,6 +432,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		writeError(w, http.StatusBadRequest, "decoding job request: %v", err)
 		return
+	}
+	// Resolve the daemon's default sweep mode at admission, so the
+	// journaled flow config pins the mode the job actually ran in.
+	if req.Flow.SweepMode == "" {
+		req.Flow.SweepMode = s.opt.DefaultSweepMode
 	}
 	comp, err := compileRequest(&req)
 	if err != nil {
@@ -755,7 +776,7 @@ func (s *Server) runLevels(rn *run, cfg flow.Config) ([]flow.LevelResult, error)
 		// Budget-truncated sweeps depend on wall-clock speed: they are
 		// neither cached nor checkpointed nor resumed.
 		if rn.cacheable {
-			if m, ok := s.checkpoints.get(levelKey(rn.baseKey, pct)); ok {
+			if m, ok := s.checkpoints.get(levelKey(rn.baseKey, cfg.SweepMode, pct)); ok {
 				out[i].Metrics = m
 				continue
 			}
@@ -781,19 +802,22 @@ func (s *Server) runLevels(rn *run, cfg flow.Config) ([]flow.LevelResult, error)
 	defer sweepSpan.End()
 	base := flow.PrewarmBase(rn.designN)
 
-	runOne := func(i int) {
+	// attemptLevel runs one level via exec under the shared retry policy
+	// and checkpoints it on success; full and incremental modes differ
+	// only in what exec does.
+	attemptLevel := func(i int, exec func(lcfg flow.Config, pct float64) flow.LevelResult) {
 		pct := rn.levels[i]
 		lcfg := cfg
 		lcfg.TelemetrySpan = sweepSpan
 		for attempt := 1; ; attempt++ {
-			lr := s.runLevel(rn, base, lcfg, pct)
+			lr := exec(lcfg, pct)
 			s.levelsRun.Add(1)
 			s.emitMetric(map[string]int64{"service.levels_run": 1}, nil, nil)
 			out[i] = lr
 			if lr.Err == nil {
 				if rn.cacheable && !lr.Metrics.Truncated {
 					rec := recLevelDone{
-						Key: levelKey(rn.baseKey, pct), TPPercent: pct, Metrics: lr.Metrics,
+						Key: levelKey(rn.baseKey, cfg.SweepMode, pct), TPPercent: pct, Metrics: lr.Metrics,
 					}
 					s.mu.Lock()
 					s.checkpoints.put(rec)
@@ -819,6 +843,37 @@ func (s *Server) runLevels(rn *run, cfg flow.Config) ([]flow.LevelResult, error)
 				return
 			}
 		}
+	}
+	runOne := func(i int) {
+		attemptLevel(i, func(lcfg flow.Config, pct float64) flow.LevelResult {
+			return s.runLevel(rn, base, lcfg, pct)
+		})
+	}
+
+	if cfg.SweepMode == flow.SweepIncremental {
+		// Serialized artifact chain over the missing levels in ascending
+		// TP order; results still land in input order. Only the Metrics
+		// are checkpointed — checkpoint-per-level-only is deliberate:
+		// artifacts (post-TPI snapshot, ATPG memo) are in-memory handles,
+		// so a crash-restarted sweep skips its checkpointed levels and
+		// cold-starts the chain at the first missing one, which is still
+		// exact because a cold link runs from the pristine base. A retry
+		// reuses the last good artifacts the same way.
+		order := append([]int(nil), missing...)
+		sort.SliceStable(order, func(a, b int) bool {
+			return rn.levels[order[a]] < rn.levels[order[b]]
+		})
+		var arts *flow.LevelArtifacts
+		for _, i := range order {
+			attemptLevel(i, func(lcfg flow.Config, pct float64) flow.LevelResult {
+				lr, next := s.runLevelChained(rn, base, lcfg, pct, arts)
+				if next != nil {
+					arts = next
+				}
+				return lr
+			})
+		}
+		return out, nil
 	}
 
 	workers := cfg.Workers

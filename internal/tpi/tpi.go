@@ -96,22 +96,61 @@ func Insert(n *netlist.Netlist, opt Options) (*Result, error) {
 	if opt.Count <= 0 {
 		return res, nil
 	}
+	res.TE = n.AddPI("tp_te")
+	res.TR = n.AddPI("tp_tr")
+	err := insertLoop(n, opt, res, make(map[netlist.NetID]bool))
+	return res, err
+}
+
+// Resume continues a previous insertion on a netlist that already holds
+// prev's test points (a snapshot of the netlist taken right after the
+// Insert that produced prev). It reuses prev's TE/TR control nets and
+// inserts only the opt.Count − len(prev.Points) missing TSFFs, naming and
+// numbering them as a from-scratch Insert(opt.Count) would.
+//
+// Because Insert's selection loop re-analyzes testability on the current
+// netlist state each batch, the state after k insertions fully determines
+// insertion k+1 — so Resume's continuation is byte-identical to the tail
+// of a from-scratch run, and the resulting netlist mutations match
+// exactly. prev is not mutated; the returned Result owns its own Points
+// slice.
+func Resume(n *netlist.Netlist, prev *Result, opt Options) (*Result, error) {
+	if prev == nil || prev.TE == netlist.NoNet {
+		return Insert(n, opt)
+	}
+	res := &Result{
+		Points: append([]TestPoint(nil), prev.Points...),
+		TE:     prev.TE,
+		TR:     prev.TR,
+	}
+	if opt.Count <= len(res.Points) {
+		return res, nil
+	}
+	taken := make(map[netlist.NetID]bool, len(res.Points))
+	for _, p := range res.Points {
+		taken[p.Target] = true
+	}
+	err := insertLoop(n, opt, res, taken)
+	return res, err
+}
+
+// insertLoop is the shared selection/insertion engine behind Insert and
+// Resume: analyze, pick a batch, splice TSFFs, repeat until res holds
+// opt.Count points. taken must hold the targets of every point already in
+// res (a previously targeted net keeps a live fanout — the in-mux pin —
+// so without the guard it could be picked twice).
+func insertLoop(n *netlist.Netlist, opt Options, res *Result, taken map[netlist.NetID]bool) error {
 	if opt.Reanalyze <= 0 {
 		opt.Reanalyze = 1
 	}
-	res.TE = n.AddPI("tp_te")
-	res.TR = n.AddPI("tp_tr")
-
 	constraints := map[netlist.NetID]int8{res.TE: 0, res.TR: 1}
 	for k, v := range opt.Constraints {
 		constraints[k] = v
 	}
-
-	taken := make(map[netlist.NetID]bool)
 	for len(res.Points) < opt.Count {
 		an, err := testability.Analyze(n, testability.Options{Constraints: constraints})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		batch := opt.Reanalyze
 		if rem := opt.Count - len(res.Points); batch > rem {
@@ -119,19 +158,19 @@ func Insert(n *netlist.Netlist, opt Options) (*Result, error) {
 		}
 		targets := selectTargets(n, an, opt, taken, batch)
 		if len(targets) == 0 {
-			return res, fmt.Errorf("tpi: no insertable net left after %d test points", len(res.Points))
+			return fmt.Errorf("tpi: no insertable net left after %d test points", len(res.Points))
 		}
 		for _, tgt := range targets {
 			tp, err := insertTSFF(n, tgt.net, res.TE, res.TR, len(res.Points))
 			if err != nil {
-				return nil, err
+				return err
 			}
 			tp.ScoreTC = tgt.tc
 			res.Points = append(res.Points, tp)
 			taken[tgt.net] = true
 		}
 	}
-	return res, nil
+	return nil
 }
 
 type target struct {

@@ -57,6 +57,10 @@ type (
 	// returned by Run/Sweep and their Context variants wraps one
 	// (recoverable with errors.As).
 	StageError = flow.StageError
+	// SweepMode selects full per-level reruns (the default oracle path)
+	// or the incremental cross-level engine; both produce bit-identical
+	// tables.
+	SweepMode = flow.SweepMode
 
 	// Tracer is the observability entry point: set Config.Telemetry to a
 	// NewTracer(...) and every flow stage and sweep level is timed and
@@ -146,6 +150,21 @@ func RunContext(ctx context.Context, design *Netlist, cfg Config) (*Result, erro
 func CriticalNets(design *Netlist, cfg Config) (map[netlist.NetID]bool, error) {
 	return flow.CriticalNets(design, cfg)
 }
+
+// Sweep scheduling modes (Config.SweepMode).
+const (
+	// SweepFull reruns every level from the pristine base, fanned out
+	// across Config.Workers.
+	SweepFull = flow.SweepFull
+	// SweepIncremental serializes levels in ascending TP order and
+	// threads each level's artifacts (TPI prefix, prewarmed caches, ATPG
+	// memo) into the next.
+	SweepIncremental = flow.SweepIncremental
+)
+
+// ParseSweepMode parses a -sweep-mode flag value ("", "full",
+// "incremental", "incr").
+func ParseSweepMode(s string) (SweepMode, error) { return flow.ParseSweepMode(s) }
 
 // ExperimentConfig returns the per-circuit flow configuration the paper
 // describes: chains of at most 100 flops for s38417 and circuit 1 with
