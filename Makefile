@@ -10,7 +10,7 @@ TRACE_INCR_OUT ?= trace_incr.ndjson
 TRACE_INCR_BASELINE ?= trace_incr_baseline.ndjson
 MAX_REGRESS ?= 25
 
-.PHONY: test race bench bench-json bench-smoke trace-smoke trace-diff trace-incr-smoke trace-incr-diff metrics-smoke service-smoke crash-smoke chaos
+.PHONY: test race bench bench-json bench-smoke trace-smoke trace-diff trace-incr-smoke trace-incr-diff metrics-smoke service-smoke flight-smoke crash-smoke chaos
 
 test:
 	go build ./... && go vet ./... && go test ./...
@@ -129,6 +129,50 @@ service-smoke:
 	kill -TERM $$pid; wait $$pid || { echo "service-smoke: drain exited non-zero"; exit 1; }; \
 	trap - EXIT; \
 	echo "service-smoke: submit, result, cache hit, metrics, drain all OK"
+
+# flight-smoke is the correlated-observability CI gate: tpid runs with
+# JSON logs, a job is submitted under a client X-Request-ID, and one
+# run_id must then be visible in the status API, the JSON log, the
+# /debug/flight dump (which tracestat -flight must parse, with service
+# and log sections), and the per-tenant SLO families on /metrics.
+# SIGQUIT must dump the flight recorder WITHOUT killing the daemon;
+# SIGTERM must still drain cleanly afterwards.
+flight-smoke:
+	go build -o tpid-smoke ./cmd/tpid
+	go build -o tracestat-smoke ./cmd/tracestat
+	@set -e; \
+	./tpid-smoke -addr localhost:9353 -workers 2 -flow-workers 2 -log-format json >flight-smoke.log 2>&1 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	up=0; for i in $$(seq 1 100); do \
+		curl -sf http://localhost:9353/healthz >/dev/null 2>&1 && { up=1; break; }; sleep 0.1; \
+	done; \
+	test $$up = 1 || { echo "flight-smoke: tpid never came up"; cat flight-smoke.log; exit 1; }; \
+	body='{"tenant":"smoke","circuit":{"spec":"s38417c","scale":0.05},"tp_levels":[0,2],"flow":{"experiment":"s38417c"}}'; \
+	id=$$(curl -sf -X POST -H 'X-Request-ID: flight-smoke-001' -d "$$body" http://localhost:9353/v1/jobs \
+		| sed -n 's/.*"id": "\([^"]*\)".*/\1/p'); \
+	test "$$id" = flight-smoke-001 || { echo "flight-smoke: X-Request-ID not honored (got '$$id')"; exit 1; }; \
+	ok=0; for i in $$(seq 1 600); do \
+		curl -sf http://localhost:9353/v1/jobs/$$id/result -o /dev/null 2>/dev/null && { ok=1; break; }; sleep 0.5; \
+	done; \
+	test $$ok = 1 || { echo "flight-smoke: result never became ready"; exit 1; }; \
+	run=$$(curl -sf http://localhost:9353/v1/jobs/$$id | sed -n 's/.*"run_id": "\([^"]*\)".*/\1/p'); \
+	test -n "$$run" || { echo "flight-smoke: status carries no run_id"; exit 1; }; \
+	echo "flight-smoke: job $$id ran as $$run"; \
+	grep -q "\"run_id\":\"$$run\"" flight-smoke.log || { echo "flight-smoke: JSON log not correlated with $$run"; tail -5 flight-smoke.log; exit 1; }; \
+	curl -sf http://localhost:9353/debug/flight -o flight-smoke.ndjson; \
+	grep -q "$$run" flight-smoke.ndjson || { echo "flight-smoke: flight dump not correlated with $$run"; exit 1; }; \
+	./tracestat-smoke -flight flight-smoke.ndjson >flight-smoke-stat.txt \
+		|| { echo "flight-smoke: tracestat rejected the dump"; cat flight-smoke-stat.txt; exit 1; }; \
+	grep -q 'service: .* observation' flight-smoke-stat.txt || { echo "flight-smoke: no service section"; cat flight-smoke-stat.txt; exit 1; }; \
+	grep -q 'logs: .* record' flight-smoke-stat.txt || { echo "flight-smoke: no log section"; cat flight-smoke-stat.txt; exit 1; }; \
+	curl -sf http://localhost:9353/metrics | grep -q 'tpid_service_tenant_jobs_done_total{stage="service",tenant="smoke"}' \
+		|| { echo "flight-smoke: tenant SLO family missing from /metrics"; exit 1; }; \
+	kill -QUIT $$pid; sleep 1; \
+	kill -0 $$pid 2>/dev/null || { echo "flight-smoke: SIGQUIT killed the daemon"; exit 1; }; \
+	grep -q -- '--- tpid flight dump (sigquit' flight-smoke.log || { echo "flight-smoke: SIGQUIT produced no dump"; tail -5 flight-smoke.log; exit 1; }; \
+	kill -TERM $$pid; wait $$pid || { echo "flight-smoke: drain exited non-zero"; exit 1; }; \
+	trap - EXIT; \
+	echo "flight-smoke: correlation, flight dump, tenant SLOs, SIGQUIT all OK"
 
 # crash-smoke is the durability CI gate: TestCrashRestartResumesSweep
 # builds the real tpid binary, starts it with a journal directory,

@@ -5,6 +5,7 @@ package obs
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	_ "net/http/pprof" // -pprof serves the default mux
 	"os"
@@ -32,6 +33,28 @@ func Register() *Flags {
 	flag.StringVar(&f.Pprof, "pprof", "", "serve net/http/pprof plus live expvar counters on this address (e.g. localhost:6060)")
 	flag.StringVar(&f.Metrics, "metrics", "", "serve a Prometheus /metrics exposition on this address (shares the -pprof listener when the addresses match)")
 	return f
+}
+
+// LogFlags holds the structured-logging flag values shared by tpid,
+// tpiflow, and tpitables.
+type LogFlags struct {
+	Format string
+	Level  string
+}
+
+// RegisterLog installs -log-format and -log-level on the default
+// FlagSet. Call before flag.Parse.
+func RegisterLog() *LogFlags {
+	f := &LogFlags{}
+	flag.StringVar(&f.Format, "log-format", "text", "structured log format: text or json")
+	flag.StringVar(&f.Level, "log-level", "info", "minimum log level: debug, info, warn, or error")
+	return f
+}
+
+// Logger builds the structured logger the flags select, writing to w
+// and forwarding records to the given sinks (e.g. a flight recorder).
+func (f *LogFlags) Logger(w io.Writer, sinks ...tpilayout.TraceSink) (*tpilayout.Logger, error) {
+	return tpilayout.NewLogger(w, f.Format, f.Level, sinks...)
 }
 
 // The process-wide /metrics surface. One PromSink serves every Tracer

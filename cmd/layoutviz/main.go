@@ -9,44 +9,55 @@ package main
 
 import (
 	"flag"
-	"log"
+	"fmt"
 	"os"
 	"path/filepath"
 
 	"tpilayout"
+	"tpilayout/cmd/internal/obs"
 	"tpilayout/internal/layoutviz"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("layoutviz: ")
 	circuit := flag.String("circuit", "s38417c", "circuit profile")
 	scale := flag.Float64("scale", 0.1, "circuit size scale factor")
 	tp := flag.Float64("tp", 1.0, "test-point percentage")
 	out := flag.String("out", ".", "output directory")
+	logFlags := obs.RegisterLog()
 	flag.Parse()
+
+	logger, err := logFlags.Logger(os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "layoutviz: %v\n", err)
+		os.Exit(1)
+	}
+	logger = logger.With("component", "layoutviz")
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "error", err)
+		os.Exit(1)
+	}
 
 	spec, err := tpilayout.SpecByName(*circuit)
 	if err != nil {
-		log.Fatal(err)
+		fatal("resolving circuit", err)
 	}
 	if *scale != 1.0 {
 		spec = spec.Scale(*scale)
 	}
 	design, err := tpilayout.Generate(spec, tpilayout.DefaultLibrary())
 	if err != nil {
-		log.Fatal(err)
+		fatal("generating netlist", err)
 	}
 	cfg := tpilayout.ExperimentConfig(*circuit)
 	cfg.TPPercent = *tp
 	cfg.SkipATPG = true
 	res, err := tpilayout.Run(design, cfg)
 	if err != nil {
-		log.Fatal(err)
+		fatal("running flow", err)
 	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		log.Fatal(err)
+		fatal("creating output directory", err)
 	}
 	views := []struct {
 		stage layoutviz.Stage
@@ -60,8 +71,8 @@ func main() {
 		doc := layoutviz.SVG(res.Place, res.Route, v.stage, layoutviz.Options{})
 		path := filepath.Join(*out, v.name)
 		if err := os.WriteFile(path, doc, 0o644); err != nil {
-			log.Fatal(err)
+			fatal("writing view", err)
 		}
-		log.Printf("wrote %s (%d bytes)", path, len(doc))
+		logger.Info("wrote view", "path", path, "bytes", len(doc))
 	}
 }

@@ -16,15 +16,27 @@
 //	GET    /v1/stats            queue depth, cache hit/miss, jobs by terminal state
 //	GET    /healthz             liveness: 200 whenever the process serves HTTP
 //	GET    /readyz              readiness: 503 while replaying the journal or draining
-//	GET    /metrics             Prometheus text exposition (flow + service families)
+//	GET    /metrics             Prometheus text exposition (flow + service + per-tenant families)
 //	GET    /debug/pprof/        net/http/pprof
+//	GET    /debug/flight        flight-recorder dump: the last -flight-events telemetry
+//	                            events (spans, service observations, log lines) as
+//	                            NDJSON; ?job=<id> narrows to one live/retained run
+//
+// Every submission gets a job_id (a valid client X-Request-ID is
+// honored and echoed back) and every flow run a run_id; both ride on
+// every span, SSE frame, log line, journal record, and flight-recorder
+// entry, so one grep correlates a request end to end.
 //
 // Submissions are queued with per-tenant round-robin fairness and
 // bounded depth (429 when full). Identical submissions are coalesced
 // onto one running flow and finished results are served from a
 // content-addressed cache, so a million identical requests cost one
 // layout. SIGTERM/SIGINT drains: running jobs get -drain-timeout to
-// finish, new submissions are rejected with 503, then the process exits.
+// finish, new submissions are rejected with 503, then the process
+// exits. SIGQUIT dumps the flight recorder plus a goroutine profile
+// (to -data-dir when set, stderr otherwise) WITHOUT exiting — stuck-
+// process debugging — and a captured flow panic dumps the flight
+// recorder automatically.
 //
 // With -data-dir the daemon is crash-safe: accepted jobs, completed
 // sweep levels, and retired results are journaled (fsync'd, CRC-framed)
@@ -35,23 +47,28 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
+	rpprof "runtime/pprof"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"tpilayout/cmd/internal/obs"
 	"tpilayout/internal/service"
+	"tpilayout/internal/supervise"
 	"tpilayout/internal/telemetry"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("tpid: ")
 	addr := flag.String("addr", "localhost:8080", "listen address for the API (also serves /metrics and /debug/pprof)")
 	workers := flag.Int("workers", 0, "worker-pool size: concurrent flows (0 = GOMAXPROCS/2)")
 	flowWorkers := flag.Int("flow-workers", 1, "default per-flow parallelism for jobs that do not set flow.workers")
@@ -65,7 +82,33 @@ func main() {
 	retryBase := flag.Duration("retry-base", 100*time.Millisecond, "initial retry backoff (doubles per attempt, full jitter)")
 	retryMax := flag.Duration("retry-max", 5*time.Second, "backoff ceiling per retry")
 	sweepMode := flag.String("sweep-mode", "full", "default level scheduling for jobs that do not set flow.sweep_mode: full (levels fan out across the worker pool) or incremental (levels serialize, each reusing the previous level's artifacts); results are bit-identical either way")
+	flightEvents := flag.Int("flight-events", 4096, "flight-recorder ring size: most recent telemetry events retained for /debug/flight, SIGQUIT, and panic dumps (0 disables)")
+	logFlags := obs.RegisterLog()
 	flag.Parse()
+
+	var flight *telemetry.FlightRecorder
+	if *flightEvents > 0 {
+		flight = telemetry.NewFlightRecorder(*flightEvents)
+	}
+	logger, err := logFlags.Logger(os.Stderr, flight)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tpid: %v\n", err)
+		os.Exit(1)
+	}
+	logger = logger.With("component", "tpid")
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
+	dumper := &flightDumper{flight: flight, dir: *dataDir, log: logger}
+	if flight != nil {
+		// A captured flow panic writes the black box immediately, while
+		// the evidence is still in the ring.
+		supervise.SetOnPanic(func(pe *supervise.PanicError) {
+			dumper.dump("panic", pe.Stack)
+		})
+	}
 
 	prom := telemetry.NewPromSink("tpid")
 	srv, err := service.Open(service.Options{
@@ -76,6 +119,8 @@ func main() {
 		MaxBodyBytes:     *maxBody,
 		RetainJobs:       *retainJobs,
 		Metrics:          prom,
+		Log:              logger,
+		Flight:           flight,
 		DataDir:          *dataDir,
 		DefaultSweepMode: *sweepMode,
 		Retry: service.RetryPolicy{
@@ -86,18 +131,19 @@ func main() {
 		},
 	})
 	if err != nil {
-		log.Fatalf("opening service: %v", err)
+		fatal("opening service", "error", err)
 	}
 	if *dataDir != "" {
-		log.Printf("journal: %s (crash-safe; /readyz turns 200 once replay finishes)", *dataDir)
+		logger.Info("journal open, /readyz turns 200 once replay finishes", "data_dir", *dataDir)
 	}
 
 	// One listener serves everything: the job API, the Prometheus
-	// exposition, and the profiler.
+	// exposition, the profiler, and the flight recorder.
 	mux := http.NewServeMux()
 	mux.Handle("/v1/", srv)
 	mux.Handle("/healthz", srv)
 	mux.Handle("/readyz", srv)
+	mux.Handle("/debug/flight", srv)
 	mux.Handle("/metrics", prom)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -110,29 +156,113 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// SIGQUIT: dump the flight recorder and a goroutine profile without
+	// exiting (registering the handler disables Go's default die-and-
+	// dump-all-goroutines behavior for this signal).
+	quitCh := make(chan os.Signal, 1)
+	signal.Notify(quitCh, syscall.SIGQUIT)
+	go func() {
+		for range quitCh {
+			dumper.dump("sigquit", nil)
+		}
+	}()
+
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("serving on http://%s (API /v1, /metrics, /debug/pprof)", *addr)
+	logger.Info("serving", "addr", *addr,
+		"surfaces", "/v1 /metrics /debug/pprof /debug/flight")
 
 	select {
 	case err := <-errCh:
-		log.Fatal(err)
+		fatal("http server failed", "error", err)
 	case <-ctx.Done():
 	}
 
-	log.Printf("signal received, draining for up to %v", *drainTimeout)
+	logger.Info("signal received, draining", "timeout", drainTimeout.String())
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("drain: %v", err)
+		logger.Error("drain failed", "error", err)
 	} else if errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("drain timeout: running jobs were canceled")
+		logger.Warn("drain timeout: running jobs were canceled")
 	}
 	// The job engine is drained; now close the listener.
 	closeCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel2()
 	if err := httpSrv.Shutdown(closeCtx); err != nil {
-		log.Printf("http shutdown: %v", err)
+		logger.Error("http shutdown failed", "error", err)
 	}
-	log.Printf("bye")
+	logger.Info("bye")
+}
+
+// flightDumper writes postmortem artifacts — the flight-recorder NDJSON
+// and (for SIGQUIT) a goroutine profile — to the data directory when
+// one exists, stderr otherwise. Dumps serialize on a mutex so a panic
+// storm produces readable files, and each gets a sequence number so
+// nothing is overwritten.
+type flightDumper struct {
+	flight *telemetry.FlightRecorder
+	dir    string
+	log    *telemetry.Logger
+	mu     sync.Mutex
+	seq    atomic.Int64
+}
+
+// dump writes the black box. reason names the trigger ("sigquit",
+// "panic"); stack, when non-nil, is the panicking goroutine's stack.
+func (d *flightDumper) dump(reason string, stack []byte) {
+	if d.flight == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := d.seq.Add(1)
+	if d.dir == "" {
+		fmt.Fprintf(os.Stderr, "--- tpid flight dump (%s, %d events) ---\n", reason, d.flight.Len())
+		d.flight.WriteNDJSON(os.Stderr)
+		if stack != nil {
+			fmt.Fprintf(os.Stderr, "--- panic stack ---\n%s\n", stack)
+		}
+		if reason == "sigquit" {
+			fmt.Fprintf(os.Stderr, "--- goroutines ---\n")
+			rpprof.Lookup("goroutine").WriteTo(os.Stderr, 1)
+		}
+		fmt.Fprintf(os.Stderr, "--- end flight dump ---\n")
+		return
+	}
+	name := filepath.Join(d.dir, fmt.Sprintf("flight-%s-%d.ndjson", reason, n))
+	f, err := os.Create(name)
+	if err != nil {
+		d.log.Error("flight dump failed", "path", name, "error", err)
+		return
+	}
+	d.flight.WriteNDJSON(f)
+	if stack != nil {
+		fmt.Fprintf(f, "%s\n", flightStackLine(reason, stack))
+	}
+	f.Close()
+	d.log.Warn("flight dump written", "reason", reason, "path", name)
+	if reason == "sigquit" {
+		gname := filepath.Join(d.dir, fmt.Sprintf("goroutines-%d.txt", n))
+		if gf, err := os.Create(gname); err == nil {
+			rpprof.Lookup("goroutine").WriteTo(gf, 1)
+			gf.Close()
+			d.log.Warn("goroutine profile written", "path", gname)
+		}
+	}
+}
+
+// flightStackLine renders a panic stack as one final NDJSON log event,
+// keeping the dump file parseable by tracestat end to end.
+func flightStackLine(reason string, stack []byte) string {
+	e := telemetry.Event{
+		Type: telemetry.EventLog, Stage: "service", Time: time.Now(),
+		Level: "ERROR", Msg: "panic captured",
+		Attrs: map[string]string{"reason": reason, "stack": string(stack)},
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		return ""
+	}
+	return string(b)
 }

@@ -27,7 +27,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"time"
@@ -37,8 +36,6 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("tpiflow: ")
 	circuit := flag.String("circuit", "s38417c", "circuit profile: s38417c, wctrl1, or p26909c")
 	scale := flag.Float64("scale", 1.0, "circuit size scale factor (1.0 = paper size)")
 	tp := flag.Float64("tp", 1.0, "test points as a percentage of flip-flops")
@@ -48,7 +45,19 @@ func main() {
 	atpgBudget := flag.Duration("atpg-budget", 0, "ATPG effort budget; expiry truncates the run instead of failing it (0 = no limit)")
 	sweepMode := flag.String("sweep-mode", "full", "level scheduling, accepted for flag parity with tpitables/tpid: full or incremental; a single-level run is identical either way")
 	obsFlags := obs.Register()
+	logFlags := obs.RegisterLog()
 	flag.Parse()
+
+	logger, err := logFlags.Logger(os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tpiflow: %v\n", err)
+		os.Exit(1)
+	}
+	logger = logger.With("component", "tpiflow")
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "error", err)
+		os.Exit(1)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -60,14 +69,14 @@ func main() {
 
 	spec, err := tpilayout.SpecByName(*circuit)
 	if err != nil {
-		log.Fatal(err)
+		fatal("resolving circuit", err)
 	}
 	if *scale != 1.0 {
 		spec = spec.Scale(*scale)
 	}
 	design, err := tpilayout.Generate(spec, tpilayout.DefaultLibrary())
 	if err != nil {
-		log.Fatal(err)
+		fatal("generating netlist", err)
 	}
 	cfg := tpilayout.ExperimentConfig(*circuit)
 	cfg.TPPercent = *tp
@@ -75,22 +84,22 @@ func main() {
 	cfg.Workers = *workers
 	cfg.SweepMode, err = tpilayout.ParseSweepMode(*sweepMode)
 	if err != nil {
-		log.Fatal(err)
+		fatal("parsing -sweep-mode", err)
 	}
 	if *atpgBudget > 0 {
 		cfg.Deadline = time.Now().Add(*atpgBudget)
 	}
 	tracer, closeTrace, err := obsFlags.Tracer()
 	if err != nil {
-		log.Fatal(err)
+		fatal("building tracer", err)
 	}
 	cfg.Telemetry = tracer
 	res, err := tpilayout.RunContext(ctx, design, cfg)
 	if terr := closeTrace(); terr != nil {
-		log.Fatal(terr)
+		fatal("flushing trace", terr)
 	}
 	if err != nil {
-		log.Fatal(err)
+		fatal("running flow", err)
 	}
 
 	m := res.Metrics

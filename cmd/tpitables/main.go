@@ -30,7 +30,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"strconv"
@@ -42,8 +41,6 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("tpitables: ")
 	circuits := flag.String("circuits", "s38417c,wctrl1,p26909c", "comma-separated circuit list")
 	scale := flag.Float64("scale", 1.0, "circuit size scale factor")
 	table := flag.String("table", "all", "which table to print: 1, 2, 3, or all")
@@ -53,7 +50,19 @@ func main() {
 	memo := flag.Bool("memo", false, "with -sweep-mode incremental, also replay memoized PODEM searches across levels (exact, but measured net-negative on sparse sweeps; see flow.Config.ATPGMemo)")
 	timeout := flag.Duration("timeout", 0, "cancel the remaining sweep after this long (0 = no limit); completed levels still print")
 	obsFlags := obs.Register()
+	logFlags := obs.RegisterLog()
 	flag.Parse()
+
+	logger, lerr := logFlags.Logger(os.Stderr)
+	if lerr != nil {
+		fmt.Fprintf(os.Stderr, "tpitables: %v\n", lerr)
+		os.Exit(1)
+	}
+	logger = logger.With("component", "tpitables")
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "error", err)
+		os.Exit(1)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -67,19 +76,19 @@ func main() {
 	for _, s := range strings.Split(*levels, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
 		if err != nil {
-			log.Fatalf("bad -levels entry %q: %v", s, err)
+			fatal(fmt.Sprintf("bad -levels entry %q", s), err)
 		}
 		pcts = append(pcts, v)
 	}
 
 	mode, err := tpilayout.ParseSweepMode(*sweepMode)
 	if err != nil {
-		log.Fatal(err)
+		fatal("parsing -sweep-mode", err)
 	}
 
 	tracer, closeTrace, err := obsFlags.Tracer()
 	if err != nil {
-		log.Fatal(err)
+		fatal("building tracer", err)
 	}
 
 	anyFailed := false
@@ -87,14 +96,14 @@ func main() {
 		name = strings.TrimSpace(name)
 		spec, err := tpilayout.SpecByName(name)
 		if err != nil {
-			log.Fatal(err)
+			fatal("resolving circuit", err)
 		}
 		if *scale != 1.0 {
 			spec = spec.Scale(*scale)
 		}
 		design, err := tpilayout.Generate(spec, tpilayout.DefaultLibrary())
 		if err != nil {
-			log.Fatal(err)
+			fatal("generating netlist", err)
 		}
 		cfg := tpilayout.ExperimentConfig(name)
 		cfg.SkipATPG = *table == "2" || *table == "3"
@@ -105,7 +114,7 @@ func main() {
 		start := time.Now()
 		results, err := tpilayout.SweepPartial(ctx, design, cfg, pcts)
 		if err != nil {
-			log.Fatal(err)
+			fatal("running sweep", err)
 		}
 		rows := tpilayout.CompletedMetrics(results)
 		fmt.Printf("== %s (scale %.2f, %d/%d layouts, %v) ==\n\n",
@@ -127,7 +136,7 @@ func main() {
 		}
 	}
 	if err := closeTrace(); err != nil {
-		log.Fatal(err)
+		fatal("flushing trace", err)
 	}
 	if anyFailed {
 		os.Exit(1)

@@ -14,6 +14,14 @@
 // started but never ended, or vice versa) — the signature of a crashed
 // or mis-instrumented run — which makes tracestat a cheap CI gate over
 // any traced flow.
+//
+// Service streams (tpid SSE feeds, /debug/flight dumps) interleave two
+// extra record kinds with the spans: observation events (span_end with
+// id 0 — queue depth, cache hits, per-tenant SLO samples) and
+// structured log records. Both get their own summary sections and never
+// count against balance. Flight-recorder dumps are a rotating ring, so
+// the oldest span starts may have been overwritten; pass -flight to
+// report the resulting unbalance as a note instead of a failure.
 package main
 
 import (
@@ -37,6 +45,7 @@ func main() {
 	showCounters := flag.Bool("counters", true, "print stage counter and gauge totals after the timing table")
 	p50 := flag.Bool("p50", true, "print a median column per histogram in the distribution table")
 	p99 := flag.Bool("p99", true, "print a 99th-percentile column per histogram in the distribution table")
+	flight := flag.Bool("flight", false, "treat the input as a flight-recorder dump: ring rotation drops the oldest span starts, so unbalanced spans are noted instead of failing")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -62,10 +71,91 @@ func main() {
 		os.Exit(1)
 	}
 	summarize(os.Stdout, name, trace, *showCounters, *p50, *p99)
+	summarizeService(os.Stdout, trace)
+	summarizeLogs(os.Stdout, trace)
 	if !trace.Balanced() {
+		if *flight {
+			fmt.Fprintf(os.Stdout, "\nnote: %d span(s) truncated by ring rotation: ids %v\n",
+				len(trace.Unbalanced), trace.Unbalanced)
+			return
+		}
 		fmt.Fprintf(os.Stderr, "tracestat: UNBALANCED trace — %d span(s) without a matching start/end: ids %v\n",
 			len(trace.Unbalanced), trace.Unbalanced)
 		os.Exit(1)
+	}
+}
+
+// summarizeService tabulates the observation events a tpid stream
+// interleaves with its spans: counters summed, gauges last-wins, both
+// split by tenant when the event carries one.
+func summarizeService(w io.Writer, trace *tpilayout.Trace) {
+	if len(trace.Observations) == 0 {
+		return
+	}
+	counters := map[string]int64{}
+	gauges := map[string]float64{}
+	hists := map[string]tpilayout.HistData{}
+	for _, e := range trace.Observations {
+		suffix := ""
+		if t := e.Attrs["tenant"]; t != "" {
+			suffix = "{tenant=" + t + "}"
+		}
+		for c, v := range e.Counters {
+			counters[c+suffix] += v
+		}
+		for g, v := range e.Gauges {
+			gauges[g+suffix] = v
+		}
+		for h, d := range e.Hists {
+			merged := hists[h+suffix]
+			merged.Merge(d)
+			hists[h+suffix] = merged
+		}
+	}
+	fmt.Fprintf(w, "\nservice: %d observation event(s)\n", len(trace.Observations))
+	for _, c := range sortedKeys(counters) {
+		fmt.Fprintf(w, "%-42s %12d\n", c, counters[c])
+	}
+	for _, g := range sortedKeys(gauges) {
+		fmt.Fprintf(w, "%-42s %12.3g\n", g, gauges[g])
+	}
+	for _, h := range sortedKeys(hists) {
+		d := hists[h]
+		fmt.Fprintf(w, "%-42s %12s (n=%d, p50 %s, p99 %s)\n",
+			h, "", d.Count, fmtQuantile(h, d.Quantile(0.5)), fmtQuantile(h, d.Quantile(0.99)))
+	}
+}
+
+// summarizeLogs counts the structured log records in the stream by
+// level and reprints warnings and errors — the lines a postmortem
+// reader wants first.
+func summarizeLogs(w io.Writer, trace *tpilayout.Trace) {
+	if len(trace.Logs) == 0 {
+		return
+	}
+	byLevel := map[string]int{}
+	for _, e := range trace.Logs {
+		byLevel[e.Level]++
+	}
+	fmt.Fprintf(w, "\nlogs: %d record(s)", len(trace.Logs))
+	for _, lv := range []string{"DEBUG", "INFO", "WARN", "ERROR"} {
+		if n := byLevel[lv]; n > 0 {
+			fmt.Fprintf(w, " %s=%d", strings.ToLower(lv), n)
+		}
+	}
+	fmt.Fprintln(w)
+	for _, e := range trace.Logs {
+		if e.Level != "WARN" && e.Level != "ERROR" {
+			continue
+		}
+		line := fmt.Sprintf("  %s %s", e.Level, e.Msg)
+		if id := e.Attrs["job_id"]; id != "" {
+			line += " job_id=" + id
+		}
+		if id := e.Attrs["run_id"]; id != "" {
+			line += " run_id=" + id
+		}
+		fmt.Fprintln(w, line)
 	}
 }
 

@@ -78,3 +78,80 @@ func TestSummarizePercentileFlags(t *testing.T) {
 		t.Errorf("both percentile flags off should drop the section:\n%s", buf.String())
 	}
 }
+
+// serviceText is a tpid-style stream: spans interleaved with
+// observation events (span_end id 0, the service's metric flushes) and
+// structured log records, all carrying correlation attrs.
+const serviceText = `{"ev":"span_start","id":1,"stage":"run","tp":0,"t":"2026-08-06T12:00:00Z","attrs":{"run_id":"r000001-aa","job_id":"j1","tenant":"acme"}}
+{"ev":"log","id":0,"stage":"service","tp":0,"t":"2026-08-06T12:00:00Z","level":"INFO","msg":"job accepted","attrs":{"job_id":"j1","run_id":"r000001-aa","tenant":"acme"}}
+{"ev":"span_end","id":0,"stage":"service","tp":-1,"t":"2026-08-06T12:00:01Z","counters":{"service.cache_hits":2},"gauges":{"service.queue_depth":3}}
+{"ev":"span_end","id":0,"stage":"service","tp":-1,"t":"2026-08-06T12:00:01Z","counters":{"service.jobs_done":1},"attrs":{"tenant":"acme"}}
+{"ev":"span_end","id":0,"stage":"service","tp":-1,"t":"2026-08-06T12:00:02Z","counters":{"service.cache_hits":1},"gauges":{"service.queue_depth":1}}
+{"ev":"log","id":0,"stage":"service","tp":0,"t":"2026-08-06T12:00:02Z","level":"WARN","msg":"level retry","attrs":{"job_id":"j1","run_id":"r000001-aa"}}
+{"ev":"span_end","id":1,"stage":"run","tp":0,"t":"2026-08-06T12:00:03Z","dur_ns":3000000000,"attrs":{"run_id":"r000001-aa","job_id":"j1","tenant":"acme"}}
+`
+
+// TestServiceAndLogSections pins the service/log summary sections and
+// confirms observation + log records never unbalance a trace.
+func TestServiceAndLogSections(t *testing.T) {
+	trace, err := tpilayout.ParseTrace(strings.NewReader(serviceText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !trace.Balanced() {
+		t.Fatalf("observation/log records must not count against balance: unbalanced ids %v", trace.Unbalanced)
+	}
+	if len(trace.Observations) != 3 || len(trace.Logs) != 2 {
+		t.Fatalf("got %d observations, %d logs; want 3, 2", len(trace.Observations), len(trace.Logs))
+	}
+
+	var buf bytes.Buffer
+	summarizeService(&buf, trace)
+	out := buf.String()
+	for _, want := range []string{
+		"service: 3 observation event(s)",
+		"service.cache_hits", "3", // summed across flushes
+		"service.jobs_done{tenant=acme}", // tenant-split family
+		"service.queue_depth", "1", // gauge: last value wins
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("service section missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	summarizeLogs(&buf, trace)
+	out = buf.String()
+	for _, want := range []string{
+		"logs: 2 record(s) info=1 warn=1",
+		"  WARN level retry job_id=j1 run_id=r000001-aa",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log section missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "job accepted") {
+		t.Errorf("INFO records should not be reprinted:\n%s", out)
+	}
+}
+
+// TestFlightDumpTolerated: a ring dump whose oldest span_start rotated
+// away parses, summarizes, and reports the orphan end as unbalanced —
+// the -flight flag in main downgrades that to a note.
+func TestFlightDumpTolerated(t *testing.T) {
+	dump := `{"ev":"span_end","id":7,"stage":"atpg","tp":1,"t":"2026-08-06T12:00:01Z","dur_ns":1000000}
+{"ev":"log","id":0,"stage":"service","tp":0,"t":"2026-08-06T12:00:02Z","level":"ERROR","msg":"panic captured","attrs":{"reason":"panic"}}
+`
+	trace, err := tpilayout.ParseTrace(strings.NewReader(dump))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Balanced() || len(trace.Unbalanced) != 1 || trace.Unbalanced[0] != 7 {
+		t.Fatalf("want exactly span 7 unbalanced, got %v", trace.Unbalanced)
+	}
+	var buf bytes.Buffer
+	summarizeLogs(&buf, trace)
+	if !strings.Contains(buf.String(), "ERROR panic captured") {
+		t.Errorf("panic log line not surfaced:\n%s", buf.String())
+	}
+}

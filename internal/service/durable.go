@@ -44,8 +44,15 @@ import (
 // original submission. Flow carries the resolved preset in Experiment,
 // pinning the config even when the original request left it implicit.
 type recAccepted struct {
-	JobID    string     `json:"job_id"`
-	Tenant   string     `json:"tenant"`
+	JobID string `json:"job_id"`
+	// RunID is the run identity minted at admission, correlating this
+	// record with log lines, spans, and flight dumps. A submission that
+	// coalesced onto an in-flight run after this record was written is
+	// retired under the absorbing run's id instead; replay reuses the
+	// journaled id so a resumed run keeps its pre-crash identity.
+	// Empty in journals written before run ids existed (JSON-additive).
+	RunID  string `json:"run_id,omitempty"`
+	Tenant string `json:"tenant"`
 	Name     string     `json:"name"`
 	Bench    string     `json:"bench"`
 	TPLevels []float64  `json:"tp_levels"`
@@ -59,11 +66,18 @@ type recLevelDone struct {
 	Key       string       `json:"key"`
 	TPPercent float64      `json:"tp_percent"`
 	Metrics   flow.Metrics `json:"metrics"`
+	// RunID/JobID name the run that produced the checkpoint (forensics
+	// only: resume matches on Key alone). Empty in old journals.
+	RunID string `json:"run_id,omitempty"`
+	JobID string `json:"job_id,omitempty"`
 }
 
 // recRetired records a run's jobs reaching a terminal state.
 type recRetired struct {
-	JobIDs    []string   `json:"job_ids"`
+	JobIDs []string `json:"job_ids"`
+	// RunID is the run that retired these jobs ("" for cache-answered
+	// retirements, which never ran a flow, and for old journals).
+	RunID     string     `json:"run_id,omitempty"`
 	State     State      `json:"state"`
 	Error     string     `json:"error,omitempty"`
 	CacheKey  string     `json:"cache_key"`
@@ -75,13 +89,18 @@ type recRetired struct {
 // recCanceled records one job canceled by its client.
 type recCanceled struct {
 	JobID    string    `json:"job_id"`
+	RunID    string    `json:"run_id,omitempty"`
 	Finished time.Time `json:"finished"`
 }
 
 // retiredJob is a terminal job inside a snapshot: the queryable state
 // a restarted daemon serves for already-finished work.
 type retiredJob struct {
-	JobID     string     `json:"job_id"`
+	JobID  string `json:"job_id"`
+	// RunID is the job's admission-time run identity, preserved so a
+	// restarted daemon answers status queries with the same run_id the
+	// pre-crash daemon minted.
+	RunID     string     `json:"run_id,omitempty"`
 	Tenant    string     `json:"tenant"`
 	Name      string     `json:"name"`
 	TPLevels  []float64  `json:"tp_levels"`
@@ -166,7 +185,7 @@ func foldRecords(recs []journal.Record) *snapState {
 					continue // already terminal (duplicate record) or unknown
 				}
 				st.Retired = append(st.Retired, retiredJob{
-					JobID: id, Tenant: acc.Tenant, Name: acc.Name,
+					JobID: id, RunID: acc.RunID, Tenant: acc.Tenant, Name: acc.Name,
 					TPLevels: acc.TPLevels, State: rec.State, Error: rec.Error,
 					CacheKey: rec.CacheKey, Cacheable: rec.Cacheable,
 					Result: rec.Result, Created: acc.Created, Finished: rec.Finished,
@@ -179,7 +198,7 @@ func foldRecords(recs []journal.Record) *snapState {
 			}
 			if acc, ok := takePending(rec.JobID); ok {
 				st.Retired = append(st.Retired, retiredJob{
-					JobID: rec.JobID, Tenant: acc.Tenant, Name: acc.Name,
+					JobID: rec.JobID, RunID: acc.RunID, Tenant: acc.Tenant, Name: acc.Name,
 					TPLevels: acc.TPLevels, State: StateCanceled,
 					Error: "canceled by client", Created: acc.Created,
 					Finished: rec.Finished,
@@ -256,6 +275,7 @@ func (s *Server) appendRecord(t journal.Type, v any) {
 	if err := s.jrnl.Append(t, data); err != nil {
 		s.journalErrors.Add(1)
 		s.emitMetric(map[string]int64{"service.journal_errors": 1}, nil, nil)
+		s.opt.Log.Error("journal append failed, degrading to in-memory", "record_type", int(t), "error", err)
 	}
 }
 
@@ -300,7 +320,7 @@ func (s *Server) snapshotState() *snapState {
 		}
 		if job.state.terminal() {
 			st.Retired = append(st.Retired, retiredJob{
-				JobID: job.ID, Tenant: job.Tenant, Name: job.Circuit,
+				JobID: job.ID, RunID: job.runID, Tenant: job.Tenant, Name: job.Circuit,
 				TPLevels: job.Levels, State: job.state, Error: job.errMsg,
 				CacheKey: job.Key, Cacheable: job.cacheable, Result: job.result,
 				Created: job.created, Finished: job.finished,
@@ -332,7 +352,7 @@ func (s *Server) replay(st *snapState) {
 	for i := range st.Retired {
 		r := &st.Retired[i]
 		job := &Job{
-			ID: r.JobID, Tenant: r.Tenant, Key: r.CacheKey, Levels: r.TPLevels,
+			ID: r.JobID, runID: r.RunID, Tenant: r.Tenant, Key: r.CacheKey, Levels: r.TPLevels,
 			Circuit: r.Name, state: r.State, errMsg: r.Error, result: r.Result,
 			created: r.Created, finished: r.Finished, started: r.Created,
 			journaled: true, cacheable: r.Cacheable,
@@ -361,6 +381,8 @@ func (s *Server) replay(st *snapState) {
 	if replayed > 0 {
 		s.emitMetric(map[string]int64{"service.replayed_jobs": replayed}, nil, nil)
 	}
+	s.opt.Log.Info("journal replay complete", "requeued", replayed,
+		"retired", len(st.Retired), "checkpoints", len(st.Levels))
 	// Startup compaction: the fold just performed becomes the snapshot,
 	// bounding the next restart's replay cost.
 	s.compactJournal()
@@ -438,7 +460,7 @@ func (s *Server) readmit(rec *recAccepted) bool {
 			return false
 		}
 	}
-	rn := s.newRun(comp, rec.Flow.ATPGBudgetMS, job)
+	rn := s.newRun(comp, rec.Flow.ATPGBudgetMS, job, rec.RunID)
 	if err := s.queue.Push(rn); err != nil {
 		// Queue full or draining at replay: retire as canceled so the
 		// client sees a definite outcome rather than a silent drop.

@@ -42,16 +42,20 @@ func (s State) terminal() bool {
 // concurrent identical submissions coalesce), and a run outlives a
 // cancelled job as long as any other job still wants its result.
 type run struct {
+	id        string // run_id: the correlation identity of this flow run
 	key       string
 	baseKey   string // level-independent content address (checkpoint keys)
 	cacheable bool
 	tenant    string // queue bucket: the first submitter's tenant
+	primary   string // job_id of the first submitter (correlation attrs)
 	designN   *netlist.Netlist
 	cfg       flow.Config
 	levels    []float64
 	workers   int
 	budgetMS  int64
 	events    *broadcaster
+	flight    *telemetry.FlightRecorder // per-run black box (nil if disabled)
+	log       *telemetry.Logger         // job_id/run_id/tenant pre-bound
 	ctx       context.Context
 	cancel    context.CancelFunc
 
@@ -68,6 +72,13 @@ type run struct {
 	done           bool
 }
 
+// attrs is the run's correlation identity, stamped onto every event the
+// run emits. job_id is the first submitter's: coalesced jobs share the
+// run's stream and find their own ids via GET /v1/jobs/{id} (run_id).
+func (r *run) attrs() map[string]string {
+	return map[string]string{"run_id": r.id, "job_id": r.primary, "tenant": r.tenant}
+}
+
 // Job is one client-visible submission.
 type Job struct {
 	ID      string
@@ -78,6 +89,7 @@ type Job struct {
 
 	// All below guarded by Server.mu.
 	state     State
+	runID     string // id of the run that executed (or will execute) the job
 	cacheHit  bool
 	coalesce  bool // attached to an already-inflight run
 	run       *run // nil once terminal via cache hit
@@ -117,8 +129,13 @@ type JobResult struct {
 
 // JobStatus is the GET /v1/jobs/{id} body (and the submission response).
 type JobStatus struct {
-	ID       string    `json:"id"`
-	Tenant   string    `json:"tenant"`
+	ID     string `json:"id"`
+	Tenant string `json:"tenant"`
+	// RunID identifies the flow run executing the job: the correlation
+	// key shared by spans, SSE frames, log lines, journal records, and
+	// flight-recorder dumps. Empty for jobs answered from the cache
+	// (no flow ran).
+	RunID    string    `json:"run_id,omitempty"`
 	State    State     `json:"state"`
 	Key      string    `json:"key"`
 	Circuit  string    `json:"circuit"`
@@ -186,6 +203,22 @@ type Options struct {
 	// job and the service-level families (queue depth, queue wait,
 	// cache hits, jobs by terminal state) — mount it on /metrics.
 	Metrics *telemetry.PromSink
+	// Log, when non-nil, is the service's structured logger: every
+	// lifecycle transition (accept, coalesce, cache hit, run start,
+	// retry, checkpoint resume, finish, cancel, drain, replay) logs
+	// through it with job_id/run_id/tenant bound. Nil disables logging
+	// at zero cost.
+	Log *telemetry.Logger
+	// Flight, when non-nil, is the service-wide flight recorder: it is
+	// attached as a sink to every run's tracer and receives every
+	// service metric event and (if the Logger forwards to it) log line.
+	// GET /debug/flight dumps it as NDJSON. Each run additionally
+	// retains its own last FlightRunEvents events, dumped via
+	// /debug/flight?job=<id>.
+	Flight *telemetry.FlightRecorder
+	// FlightRunEvents sizes the per-run flight ring (default 256); only
+	// meaningful when Flight is set.
+	FlightRunEvents int
 	// ExtraSinks are attached to every job's tracer (tests).
 	ExtraSinks []telemetry.Sink
 	// Flush, when non-nil, is called at the end of Shutdown so the
@@ -239,6 +272,9 @@ func (o *Options) withDefaults() Options {
 	if out.RetainJobs <= 0 {
 		out.RetainJobs = 512
 	}
+	if out.FlightRunEvents <= 0 {
+		out.FlightRunEvents = 256
+	}
 	if out.JournalCompactBytes <= 0 {
 		out.JournalCompactBytes = 4 << 20
 	}
@@ -260,10 +296,12 @@ type Server struct {
 	order    []string        // terminal-job retention FIFO
 	inflight map[string]*run // singleflight: key → live cacheable run
 	active   map[*run]bool   // every live run (queued or running)
+	claimed  map[string]bool // client-supplied X-Request-IDs mid-admission
 
 	draining  atomic.Bool
 	workersWG sync.WaitGroup
 	jobSeq    atomic.Int64
+	runSeq    atomic.Int64
 	flowRuns  atomic.Int64
 	running   atomic.Int64
 
@@ -325,6 +363,7 @@ func Open(opt Options) (*Server, error) {
 		jobs:       map[string]*Job{},
 		inflight:   map[string]*run{},
 		active:     map[*run]bool{},
+		claimed:    map[string]bool{},
 		shutdownCh: make(chan struct{}),
 	}
 	if _, err := flow.ParseSweepMode(s.opt.DefaultSweepMode); err != nil {
@@ -366,6 +405,7 @@ func Open(opt Options) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	s.mux.HandleFunc("GET /debug/flight", s.handleFlight)
 
 	s.workersWG.Add(s.opt.Workers)
 	for i := 0; i < s.opt.Workers; i++ {
@@ -450,13 +490,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	job := &Job{
-		ID:      s.newJobID(),
+		ID:      s.claimJobID(r.Header.Get("X-Request-ID")),
 		Tenant:  comp.tenant,
 		Key:     comp.key,
 		Levels:  comp.levels,
 		Circuit: comp.design.Name,
 		created: time.Now(),
 	}
+	defer s.releaseJobID(job.ID)
+	// Echo the job's identity so clients correlate responses with their
+	// own request IDs (the header matches a valid supplied X-Request-ID,
+	// otherwise carries the minted id).
+	w.Header().Set("X-Request-ID", job.ID)
 
 	// Content-addressed fast path: an identical finished sweep serves
 	// from the cache without touching the queue.
@@ -472,6 +517,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			s.mu.Unlock()
 			s.jobsDone.Add(1)
 			s.emitMetric(map[string]int64{"service.jobs_done": 1, "service.cache_hit_jobs": 1}, nil, nil)
+			s.emitTenantMetric(job.Tenant,
+				map[string]int64{"service.tenant_jobs_done": 1},
+				map[string]telemetry.HistData{"service.tenant_e2e_ns": telemetry.Observation(int64(job.finished.Sub(job.created)))})
+			s.opt.Log.Info("job answered from cache",
+				"job_id", job.ID, "tenant", job.Tenant, "circuit", job.Circuit, "key", job.Key)
 			s.writeStatus(w, http.StatusOK, job)
 			return
 		}
@@ -491,12 +541,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Mint the run identity before journaling so the accepted record
+	// carries it; a coalesced submission is retired under the absorbing
+	// run's id instead (see durable.go).
+	runID := s.newRunID()
+
 	// Journal acceptance BEFORE the job becomes reachable: an accepted
 	// record always precedes any terminal record for the same job, so
 	// replay can never see a retirement of an unknown job.
 	if s.jrnl != nil {
 		rec := &recAccepted{
 			JobID:    job.ID,
+			RunID:    runID,
 			Tenant:   comp.tenant,
 			Name:     comp.design.Name,
 			Bench:    comp.bench,
@@ -520,12 +576,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// this submission — one flow, many results.
 		if live, ok := s.inflight[comp.key]; ok {
 			job.run = live
+			job.runID = live.id
 			job.coalesce = true
 			job.state = s.runStateLocked(live)
 			live.jobs = append(live.jobs, job)
 			s.rememberJobLocked(job)
 			s.mu.Unlock()
 			s.emitMetric(map[string]int64{"service.coalesced_jobs": 1}, nil, nil)
+			s.opt.Log.Info("job coalesced onto in-flight run",
+				"job_id", job.ID, "run_id", job.runID, "tenant", job.Tenant, "circuit", job.Circuit)
 			s.writeStatus(w, http.StatusAccepted, job)
 			return
 		}
@@ -553,12 +612,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 				})
 			}
 			s.emitMetric(map[string]int64{"service.jobs_done": 1, "service.cache_hit_jobs": 1}, nil, nil)
+			s.emitTenantMetric(job.Tenant,
+				map[string]int64{"service.tenant_jobs_done": 1},
+				map[string]telemetry.HistData{"service.tenant_e2e_ns": telemetry.Observation(int64(job.finished.Sub(job.created)))})
+			s.opt.Log.Info("job answered from cache",
+				"job_id", job.ID, "tenant", job.Tenant, "circuit", job.Circuit, "key", job.Key)
 			s.writeStatus(w, http.StatusOK, job)
 			return
 		}
 	}
 
-	rn := s.newRun(comp, req.Flow.ATPGBudgetMS, job)
+	rn := s.newRun(comp, req.Flow.ATPGBudgetMS, job, runID)
 	if err := s.queue.Push(rn); err != nil {
 		journaled := job.journaled
 		s.mu.Unlock()
@@ -584,7 +648,53 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	s.emitMetric(map[string]int64{"service.jobs_submitted": 1},
 		map[string]float64{"service.queue_depth": float64(depth)}, nil)
+	rn.log.Info("job accepted", "circuit", job.Circuit,
+		"levels", len(job.Levels), "queue_depth", depth, "sweep_mode", rn.cfg.SweepMode.String())
 	s.writeStatus(w, http.StatusAccepted, job)
+}
+
+// claimJobID returns the job ID for a submission: a valid, unused
+// client-supplied X-Request-ID is honored (so clients can pre-correlate
+// their own traffic); anything else gets a minted id. The claim is held
+// in s.claimed until releaseJobID so two concurrent submissions cannot
+// both admit under one client id.
+func (s *Server) claimJobID(want string) string {
+	if validRequestID(want) {
+		s.mu.Lock()
+		_, taken := s.jobs[want]
+		if !taken && !s.claimed[want] {
+			s.claimed[want] = true
+			s.mu.Unlock()
+			return want
+		}
+		s.mu.Unlock()
+	}
+	return s.newJobID()
+}
+
+func (s *Server) releaseJobID(id string) {
+	s.mu.Lock()
+	delete(s.claimed, id)
+	s.mu.Unlock()
+}
+
+// validRequestID bounds a client-supplied X-Request-ID: 1–64 chars of
+// [A-Za-z0-9._-]. Anything else (empty, huge, control chars, label
+// injection) is ignored and a server id is minted instead.
+func validRequestID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // reject429 answers an over-capacity submission. Retry-After carries
@@ -593,18 +703,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) reject429(w http.ResponseWriter) {
 	s.rejected.Add(1)
 	s.emitMetric(map[string]int64{"service.rejected_429": 1}, nil, nil)
+	s.opt.Log.Warn("submission rejected, queue full", "queue_depth", s.opt.QueueDepth)
 	w.Header().Set("Retry-After", strconv.Itoa(1+mrand.Intn(4)))
 	writeError(w, http.StatusTooManyRequests, "job queue full (%d queued), retry later", s.opt.QueueDepth)
 }
 
 // newRun builds the run for a freshly admitted (or replayed) job.
-func (s *Server) newRun(comp *compiled, budgetMS int64, job *Job) *run {
+// runID "" mints a fresh id; replay passes the journaled one so a
+// resumed run keeps its pre-crash identity.
+func (s *Server) newRun(comp *compiled, budgetMS int64, job *Job, runID string) *run {
+	if runID == "" {
+		runID = s.newRunID()
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	rn := &run{
+		id:        runID,
 		key:       comp.key,
 		baseKey:   comp.baseKey,
 		cacheable: comp.cacheable,
 		tenant:    comp.tenant,
+		primary:   job.ID,
 		designN:   comp.design,
 		cfg:       comp.cfg,
 		levels:    comp.levels,
@@ -616,8 +734,17 @@ func (s *Server) newRun(comp *compiled, budgetMS int64, job *Job) *run {
 		enqueued:  time.Now(),
 		jobs:      []*Job{job},
 	}
+	if s.opt.Flight != nil {
+		rn.flight = telemetry.NewFlightRecorder(s.opt.FlightRunEvents)
+	}
+	rn.log = s.opt.Log.With("job_id", job.ID, "run_id", runID, "tenant", rn.tenant)
+	if rn.flight != nil {
+		// Tee this run's log lines into its own black box as well.
+		rn.log = rn.log.WithSinks(rn.flight)
+	}
 	rn.retryBudget.Store(int64(s.opt.Retry.JobBudget))
 	job.run = rn
+	job.runID = runID
 	job.state = StateQueued
 	return rn
 }
@@ -626,6 +753,14 @@ func (s *Server) newJobID() string {
 	var b [6]byte
 	rand.Read(b[:])
 	return fmt.Sprintf("j%06d-%s", s.jobSeq.Add(1), hex.EncodeToString(b[:]))
+}
+
+// newRunID mints a run_id: sequence for human ordering, random suffix
+// for uniqueness across restarts.
+func (s *Server) newRunID() string {
+	var b [4]byte
+	rand.Read(b[:])
+	return fmt.Sprintf("r%06d-%s", s.runSeq.Add(1), hex.EncodeToString(b[:]))
 }
 
 // rememberJobLocked indexes the job and enforces terminal retention.
@@ -686,7 +821,7 @@ func (s *Server) execute(rn *run) {
 	wait := now.Sub(rn.enqueued)
 	s.running.Add(1)
 	s.flowRuns.Add(1)
-	s.emitMetric(
+	s.emitRunMetric(rn,
 		map[string]int64{"service.flow_runs": 1},
 		map[string]float64{
 			"service.queue_depth": float64(s.queue.Len()),
@@ -694,6 +829,9 @@ func (s *Server) execute(rn *run) {
 		},
 		map[string]telemetry.HistData{"service.queue_wait_ns": telemetry.Observation(int64(wait))},
 	)
+	s.emitTenantMetric(rn.tenant, nil,
+		map[string]telemetry.HistData{"service.tenant_queue_wait_ns": telemetry.Observation(int64(wait))})
+	rn.log.Info("run started", "queue_wait_ms", wait.Milliseconds(), "levels", len(rn.levels))
 
 	res, err := s.runFlow(rn)
 	s.running.Add(-1)
@@ -708,10 +846,19 @@ func (s *Server) sweepRun(rn *run) (*JobResult, error) {
 	if s.opt.Metrics != nil {
 		sinks = append(sinks, s.opt.Metrics)
 	}
+	if s.opt.Flight != nil {
+		sinks = append(sinks, s.opt.Flight)
+	}
+	if rn.flight != nil {
+		sinks = append(sinks, rn.flight)
+	}
 	sinks = append(sinks, s.opt.ExtraSinks...)
 
 	cfg := rn.cfg
-	cfg.Telemetry = telemetry.New(sinks...)
+	// Every span this run emits — and therefore every SSE frame, every
+	// /metrics fold, and every flight-recorder entry — carries the run's
+	// correlation identity.
+	cfg.Telemetry = telemetry.New(sinks...).WithAttrs(rn.attrs())
 	cfg.Workers = rn.workers
 	if cfg.Workers == 0 {
 		cfg.Workers = s.opt.FlowWorkers
@@ -787,7 +934,8 @@ func (s *Server) runLevels(rn *run, cfg flow.Config) ([]flow.LevelResult, error)
 	if resumed := int64(len(rn.levels) - len(missing)); resumed > 0 {
 		rn.resumedLevels.Add(resumed)
 		s.levelsResumed.Add(resumed)
-		s.emitMetric(map[string]int64{"service.levels_resumed": resumed}, nil, nil)
+		s.emitRunMetric(rn, map[string]int64{"service.levels_resumed": resumed}, nil, nil)
+		rn.log.Info("levels resumed from checkpoints", "resumed", resumed, "missing", len(missing))
 	}
 	if len(missing) == 0 {
 		return out, nil
@@ -812,12 +960,15 @@ func (s *Server) runLevels(rn *run, cfg flow.Config) ([]flow.LevelResult, error)
 		for attempt := 1; ; attempt++ {
 			lr := exec(lcfg, pct)
 			s.levelsRun.Add(1)
-			s.emitMetric(map[string]int64{"service.levels_run": 1}, nil, nil)
+			s.emitRunMetric(rn, map[string]int64{"service.levels_run": 1}, nil, nil)
 			out[i] = lr
 			if lr.Err == nil {
+				rn.log.Debug("level done", "tp_percent", pct, "attempt", attempt,
+					"truncated", lr.Metrics.Truncated)
 				if rn.cacheable && !lr.Metrics.Truncated {
 					rec := recLevelDone{
 						Key: levelKey(rn.baseKey, cfg.SweepMode, pct), TPPercent: pct, Metrics: lr.Metrics,
+						RunID: rn.id, JobID: rn.primary,
 					}
 					s.mu.Lock()
 					s.checkpoints.put(rec)
@@ -829,17 +980,23 @@ func (s *Server) runLevels(rn *run, cfg flow.Config) ([]flow.LevelResult, error)
 			// Permanent failures, cancellations, exhausted attempts, and
 			// an exhausted per-job budget all surface the error as-is.
 			if rn.ctx.Err() != nil || !transientError(lr.Err) || attempt >= s.opt.Retry.MaxAttempts {
+				rn.log.Warn("level failed", "tp_percent", pct, "attempt", attempt, "error", lr.Err)
 				return
 			}
 			if rn.retryBudget.Add(-1) < 0 {
+				rn.log.Warn("level failed, retry budget exhausted", "tp_percent", pct,
+					"attempt", attempt, "error", lr.Err)
 				return
 			}
+			backoff := s.opt.Retry.backoff(attempt)
 			rn.retries.Add(1)
 			s.retries.Add(1)
-			s.emitMetric(map[string]int64{"service.retries": 1}, nil, nil)
+			s.emitRunMetric(rn, map[string]int64{"service.retries": 1}, nil, nil)
+			rn.log.Warn("level retrying after transient failure", "tp_percent", pct,
+				"attempt", attempt, "backoff_ms", backoff.Milliseconds(), "error", lr.Err)
 			// Context-aware backoff: a DELETE that cancels the run aborts
 			// this sleep immediately and frees the worker.
-			if !sleepCtx(rn.ctx, s.opt.Retry.backoff(attempt)) {
+			if !sleepCtx(rn.ctx, backoff) {
 				return
 			}
 		}
@@ -929,6 +1086,7 @@ func (s *Server) finishRun(rn *run, res *JobResult, err error) {
 	rn.jobs = nil
 	var done, failed, cancl int64
 	var journaledIDs []string
+	tenantSLO := map[string]*tenantOutcome{}
 	for _, j := range jobs {
 		j.finished = now
 		switch {
@@ -942,13 +1100,22 @@ func (s *Server) finishRun(rn *run, res *JobResult, err error) {
 			j.state = StateDone
 			j.result = res
 		}
+		to := tenantSLO[j.Tenant]
+		if to == nil {
+			to = &tenantOutcome{}
+			tenantSLO[j.Tenant] = to
+		}
+		to.e2e.Merge(telemetry.Observation(int64(now.Sub(j.created))))
 		switch j.state {
 		case StateDone:
 			done++
+			to.done++
 		case StateFailed:
 			failed++
+			to.failed++
 		case StateCanceled:
 			cancl++
+			to.canceled++
 		}
 		if j.journaled {
 			journaledIDs = append(journaledIDs, j.ID)
@@ -963,7 +1130,7 @@ func (s *Server) finishRun(rn *run, res *JobResult, err error) {
 	// lands here too and retires them durably as canceled.
 	if len(journaledIDs) > 0 {
 		rr := &recRetired{
-			JobIDs: journaledIDs, CacheKey: rn.key,
+			JobIDs: journaledIDs, RunID: rn.id, CacheKey: rn.key,
 			Cacheable: rn.cacheable, Finished: now,
 		}
 		switch {
@@ -986,7 +1153,7 @@ func (s *Server) finishRun(rn *run, res *JobResult, err error) {
 	s.jobsCanceled.Add(cancl)
 	rn.cancel() // release the context's resources
 	rn.events.Close()
-	s.emitMetric(map[string]int64{
+	s.emitRunMetric(rn, map[string]int64{
 		"service.jobs_done":     done,
 		"service.jobs_failed":   failed,
 		"service.jobs_canceled": cancl,
@@ -994,6 +1161,30 @@ func (s *Server) finishRun(rn *run, res *JobResult, err error) {
 		"service.queue_depth": float64(s.queue.Len()),
 		"service.running":     float64(s.running.Load()),
 	}, nil)
+	for tenant, to := range tenantSLO {
+		s.emitTenantMetric(tenant, map[string]int64{
+			"service.tenant_jobs_done":     to.done,
+			"service.tenant_jobs_failed":   to.failed,
+			"service.tenant_jobs_canceled": to.canceled,
+		}, map[string]telemetry.HistData{"service.tenant_e2e_ns": to.e2e})
+	}
+	state, errMsg := StateDone, ""
+	switch {
+	case canceled:
+		state = StateCanceled
+	case err != nil:
+		state, errMsg = StateFailed, err.Error()
+	}
+	rn.log.Info("run finished", "state", string(state), "jobs", len(jobs),
+		"retries", rn.retries.Load(), "resumed_levels", rn.resumedLevels.Load(), "error", errMsg)
+}
+
+// tenantOutcome accumulates one tenant's share of a finished run: the
+// per-tenant SLO sample set (terminal-state counts + end-to-end
+// latency observations) emitted as tpid_service_tenant_* families.
+type tenantOutcome struct {
+	done, failed, canceled int64
+	e2e                    telemetry.HistData
 }
 
 // ---------------------------------------------------------------------------
@@ -1076,8 +1267,13 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 	s.jobsCanceled.Add(1)
 	s.emitMetric(map[string]int64{"service.jobs_canceled": 1}, nil, nil)
+	s.emitTenantMetric(job.Tenant,
+		map[string]int64{"service.tenant_jobs_canceled": 1},
+		map[string]telemetry.HistData{"service.tenant_e2e_ns": telemetry.Observation(int64(job.finished.Sub(job.created)))})
+	s.opt.Log.Info("job canceled by client", "job_id", job.ID, "run_id", job.runID,
+		"tenant", job.Tenant, "last_waiter", lastWaiter)
 	if journaled {
-		s.appendRecord(journal.TypeCanceled, &recCanceled{JobID: job.ID, Finished: time.Now()})
+		s.appendRecord(journal.TypeCanceled, &recCanceled{JobID: job.ID, RunID: job.runID, Finished: time.Now()})
 	}
 	if lastWaiter {
 		// Nobody else wants this run: take it off the queue if still
@@ -1203,6 +1399,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	default:
 	}
 	s.draining.Store(true)
+	s.opt.Log.Info("drain started", "queued", s.queue.Len(), "running", s.running.Load())
 	// Let a still-running journal replay finish re-admitting jobs before
 	// the queue closes underneath it (its re-admissions are then drained
 	// like any other queued job, and stay pending in the journal).
@@ -1236,6 +1433,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 
 	close(s.shutdownCh)
+	s.opt.Log.Info("drain finished", "deadline_cut", err != nil)
 	if s.jrnl != nil {
 		s.jrnl.Close()
 	}
@@ -1251,23 +1449,80 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // Telemetry + JSON helpers
 
 // emitMetric folds service-level families into the /metrics sink as one
-// synthetic span_end under stage="service" — the same pipe the flow's
-// own telemetry rides, so one scrape shows engine and service health
-// side by side.
+// synthetic span_end under stage="service" with ID 0 (an observation
+// event, exempt from trace balancing) — the same pipe the flow's own
+// telemetry rides, so one scrape shows engine and service health side
+// by side. Every observation also lands in the flight recorder.
 func (s *Server) emitMetric(counters map[string]int64, gauges map[string]float64, hists map[string]telemetry.HistData) {
-	if s.opt.Metrics == nil {
-		return
-	}
-	s.opt.Metrics.Emit(telemetry.Event{
+	s.emitEvent(telemetry.Event{
 		Type: telemetry.EventSpanEnd, Stage: "service", Time: time.Now(),
 		Counters: counters, Gauges: gauges, Hists: hists,
-	})
+	}, nil)
+}
+
+// emitRunMetric is emitMetric carrying a run's correlation attrs, so
+// retry/checkpoint/terminal counter flushes in the flight recorder and
+// on /metrics name the run they belong to. The tenant attr is the
+// run's, so these families split per tenant on /metrics (bounded by
+// the PromSink tenant cap).
+func (s *Server) emitRunMetric(rn *run, counters map[string]int64, gauges map[string]float64, hists map[string]telemetry.HistData) {
+	s.emitEvent(telemetry.Event{
+		Type: telemetry.EventSpanEnd, Stage: "service", Time: time.Now(),
+		Counters: counters, Gauges: gauges, Hists: hists, Attrs: rn.attrs(),
+	}, rn.flight)
+}
+
+// emitTenantMetric emits the per-tenant SLO families
+// (tpid_service_tenant_*): terminal-state counters plus queue-wait and
+// end-to-end latency histograms, labeled tenant="..." on /metrics with
+// the PromSink's bounded-cardinality "other" overflow.
+func (s *Server) emitTenantMetric(tenant string, counters map[string]int64, hists map[string]telemetry.HistData) {
+	s.emitEvent(telemetry.Event{
+		Type: telemetry.EventSpanEnd, Stage: "service", Time: time.Now(),
+		Counters: counters, Hists: hists,
+		Attrs: map[string]string{"tenant": tenant},
+	}, nil)
+}
+
+func (s *Server) emitEvent(e telemetry.Event, runFlight *telemetry.FlightRecorder) {
+	if s.opt.Metrics != nil {
+		s.opt.Metrics.Emit(e)
+	}
+	s.opt.Flight.Emit(e) // nil-safe
+	runFlight.Emit(e)
+}
+
+// handleFlight dumps the flight recorder — the service-wide ring, or
+// one run's with ?job=<id> — as NDJSON readable by tracestat -flight.
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	if s.opt.Flight == nil {
+		writeError(w, http.StatusNotFound, "flight recorder disabled")
+		return
+	}
+	fr := s.opt.Flight
+	if id := r.URL.Query().Get("job"); id != "" {
+		s.mu.Lock()
+		job := s.jobs[id]
+		if job != nil && job.run != nil {
+			fr = job.run.flight
+		} else {
+			fr = nil
+		}
+		s.mu.Unlock()
+		if fr == nil {
+			writeError(w, http.StatusNotFound, "no flight record for job %q (terminal cache hits and unknown jobs have none)", id)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	fr.WriteNDJSON(w)
 }
 
 func (s *Server) statusLocked(job *Job) JobStatus {
 	st := JobStatus{
 		ID:        job.ID,
 		Tenant:    job.Tenant,
+		RunID:     job.runID,
 		State:     job.state,
 		Key:       job.Key,
 		Circuit:   job.Circuit,

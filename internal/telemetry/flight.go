@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// DefaultFlightEvents is the ring capacity NewFlightRecorder uses when
+// given a non-positive size.
+const DefaultFlightEvents = 4096
+
+// FlightRecorder is a fixed-size ring buffer retaining the most recent
+// telemetry events — spans, observations, and log records alike. It is
+// the service's black box: always on, allocation-free on the write
+// path (the ring is preallocated; Emit copies the Event value into a
+// slot), and dumped as NDJSON on demand (/debug/flight), on SIGQUIT,
+// or on panic. Like the rest of the package, a nil *FlightRecorder is
+// the disabled state and costs one nil check per call.
+//
+// Events carry maps (counters, attrs) by reference; recorded events
+// alias them. That is safe because emitters never mutate a map after
+// emitting — the same contract every other Sink relies on.
+type FlightRecorder struct {
+	mu   sync.Mutex
+	buf  []Event
+	next uint64 // events ever written; next%len(buf) is the write slot
+}
+
+// NewFlightRecorder returns a recorder retaining the last n events
+// (DefaultFlightEvents if n <= 0). The ring is allocated up front;
+// steady-state writes allocate nothing.
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n <= 0 {
+		n = DefaultFlightEvents
+	}
+	return &FlightRecorder{buf: make([]Event, n)}
+}
+
+// Emit records the event, evicting the oldest once the ring is full.
+// Safe for concurrent use and on a nil receiver.
+func (f *FlightRecorder) Emit(e Event) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.buf[f.next%uint64(len(f.buf))] = e
+	f.next++
+	f.mu.Unlock()
+}
+
+// Len returns the number of retained events (0 on nil).
+func (f *FlightRecorder) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.next < uint64(len(f.buf)) {
+		return int(f.next)
+	}
+	return len(f.buf)
+}
+
+// Snapshot returns the retained events oldest-first. The returned
+// slice is a copy; the events inside still share maps with their
+// emitters (read-only).
+func (f *FlightRecorder) Snapshot() []Event {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := uint64(len(f.buf))
+	if f.next < n {
+		out := make([]Event, f.next)
+		copy(out, f.buf[:f.next])
+		return out
+	}
+	out := make([]Event, n)
+	head := f.next % n // oldest retained event
+	copy(out, f.buf[head:])
+	copy(out[n-head:], f.buf[:head])
+	return out
+}
+
+// WriteNDJSON dumps the retained events oldest-first, one JSON object
+// per line — the same wire format as NDJSONSink, so tracestat and
+// ParseTrace read flight dumps directly. The snapshot is taken in one
+// critical section; marshalling happens outside the lock so a slow
+// writer never stalls emitters.
+func (f *FlightRecorder) WriteNDJSON(w io.Writer) error {
+	events := f.Snapshot()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range events {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -6,8 +6,15 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 )
+
+// defaultTenantLimit bounds how many distinct tenant label values a
+// PromSink will emit before folding new tenants into tenant="other".
+// Prometheus series are priced per label combination; an unbounded
+// tenant label would let one abusive client mint unbounded series.
+const defaultTenantLimit = 32
 
 // PromSink folds telemetry events into a live Prometheus exposition:
 // every counter becomes a `<prefix>_<name>_total` counter family,
@@ -18,7 +25,10 @@ import (
 // `<prefix>_spans_total` / `<prefix>_span_errors_total` counters — so
 // every stage has a counter, a gauge, and a duration distribution even
 // where the stage itself records no explicit metrics. All series carry a
-// stage="<span stage>" label.
+// stage="<span stage>" label; events whose attrs carry a tenant (the
+// service's per-tenant SLO families) additionally carry a tenant label,
+// bounded to TenantLimit distinct values with an "other" overflow
+// bucket.
 //
 // PromSink is both a Sink (attach it to a Tracer) and an http.Handler
 // (mount it on /metrics): Emit and ServeHTTP synchronize on one mutex,
@@ -28,10 +38,12 @@ import (
 type PromSink struct {
 	prefix string
 
-	mu       sync.Mutex
-	counters map[string]map[string]float64   // family -> stage -> value
-	gauges   map[string]map[string]float64   // family -> stage -> value
-	hists    map[string]map[string]*HistData // family -> stage -> merged data
+	mu         sync.Mutex
+	counters   map[string]map[string]float64   // family -> label set -> value
+	gauges     map[string]map[string]float64   // family -> label set -> value
+	hists      map[string]map[string]*HistData // family -> label set -> merged data
+	tenants    map[string]bool                 // tenants granted their own label value
+	maxTenants int
 }
 
 // NewPromSink returns an empty exposition surface. prefix namespaces
@@ -39,11 +51,22 @@ type PromSink struct {
 // metric-name prefix or it is sanitized like everything else.
 func NewPromSink(prefix string) *PromSink {
 	return &PromSink{
-		prefix:   promName(prefix),
-		counters: map[string]map[string]float64{},
-		gauges:   map[string]map[string]float64{},
-		hists:    map[string]map[string]*HistData{},
+		prefix:     promName(prefix),
+		counters:   map[string]map[string]float64{},
+		gauges:     map[string]map[string]float64{},
+		hists:      map[string]map[string]*HistData{},
+		tenants:    map[string]bool{},
+		maxTenants: defaultTenantLimit,
 	}
+}
+
+// SetTenantLimit caps the number of distinct tenant label values
+// (default 32). Tenants beyond the cap are folded into tenant="other";
+// tenants that already own a label value keep it.
+func (p *PromSink) SetTenantLimit(n int) {
+	p.mu.Lock()
+	p.maxTenants = n
+	p.mu.Unlock()
 }
 
 // Emit folds a span_end event into the live metric state.
@@ -51,51 +74,74 @@ func (p *PromSink) Emit(e Event) {
 	if e.Type != EventSpanEnd {
 		return
 	}
-	stage := e.Stage
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.addCounter(p.prefix+"_spans_total", stage, 1)
-	if e.Err != "" {
-		p.addCounter(p.prefix+"_span_errors_total", stage, 1)
+	labels := p.labelsLocked(e)
+	if e.ID != 0 {
+		// Observation events (ID 0) are bare metric flushes, not spans:
+		// they carry no duration and should not count as spans.
+		p.addCounter(p.prefix+"_spans_total", labels, 1)
+		if e.Err != "" {
+			p.addCounter(p.prefix+"_span_errors_total", labels, 1)
+		}
+		p.setGauge(p.prefix+"_stage_last_duration_ns", labels, float64(e.DurNS))
+		p.mergeHist(p.prefix+"_stage_duration_ns", labels, HistData{
+			Count: 1, Sum: e.DurNS,
+			Buckets: map[int]uint64{histBucketOf(e.DurNS): 1},
+		})
 	}
-	p.setGauge(p.prefix+"_stage_last_duration_ns", stage, float64(e.DurNS))
-	p.mergeHist(p.prefix+"_stage_duration_ns", stage, HistData{
-		Count: 1, Sum: e.DurNS,
-		Buckets: map[int]uint64{histBucketOf(e.DurNS): 1},
-	})
 	for name, v := range e.Counters {
-		p.addCounter(p.prefix+"_"+promName(name)+"_total", stage, float64(v))
+		p.addCounter(p.prefix+"_"+promName(name)+"_total", labels, float64(v))
 	}
 	for name, v := range e.Gauges {
-		p.setGauge(p.prefix+"_"+promName(name), stage, v)
+		p.setGauge(p.prefix+"_"+promName(name), labels, v)
 	}
 	for name, d := range e.Hists {
-		p.mergeHist(p.prefix+"_"+promName(name), stage, d)
+		p.mergeHist(p.prefix+"_"+promName(name), labels, d)
 	}
 }
 
-func (p *PromSink) addCounter(family, stage string, v float64) {
+// labelsLocked renders the event's label set — `stage="x"` plus, when
+// the event carries a tenant attr, `,tenant="y"` bounded by the tenant
+// cap. The rendered string is the series key, so identical label sets
+// accumulate into one series and the exposition sorts by it.
+func (p *PromSink) labelsLocked(e Event) string {
+	labels := `stage="` + promLabel(e.Stage) + `"`
+	if t := e.Attrs["tenant"]; t != "" {
+		if !p.tenants[t] {
+			if len(p.tenants) < p.maxTenants {
+				p.tenants[t] = true
+			} else {
+				t = "other"
+			}
+		}
+		labels += `,tenant="` + promLabel(t) + `"`
+	}
+	return labels
+}
+
+func (p *PromSink) addCounter(family, labels string, v float64) {
 	if p.counters[family] == nil {
 		p.counters[family] = map[string]float64{}
 	}
-	p.counters[family][stage] += v
+	p.counters[family][labels] += v
 }
 
-func (p *PromSink) setGauge(family, stage string, v float64) {
+func (p *PromSink) setGauge(family, labels string, v float64) {
 	if p.gauges[family] == nil {
 		p.gauges[family] = map[string]float64{}
 	}
-	p.gauges[family][stage] = v
+	p.gauges[family][labels] = v
 }
 
-func (p *PromSink) mergeHist(family, stage string, d HistData) {
+func (p *PromSink) mergeHist(family, labels string, d HistData) {
 	if p.hists[family] == nil {
 		p.hists[family] = map[string]*HistData{}
 	}
-	acc := p.hists[family][stage]
+	acc := p.hists[family][labels]
 	if acc == nil {
 		acc = &HistData{}
-		p.hists[family][stage] = acc
+		p.hists[family][labels] = acc
 	}
 	acc.Merge(d)
 }
@@ -107,26 +153,26 @@ func (p *PromSink) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
 }
 
 // writeExposition writes the full exposition to w, families sorted by name and
-// series sorted by stage label, so successive scrapes diff cleanly.
+// series sorted by label set, so successive scrapes diff cleanly.
 func (p *PromSink) writeExposition(w io.Writer) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for _, fam := range sortedFamilies(p.counters) {
+	for _, fam := range sortedKeys(p.counters) {
 		fmt.Fprintf(w, "# TYPE %s counter\n", fam)
-		for _, stage := range sortedStages(p.counters[fam]) {
-			fmt.Fprintf(w, "%s{stage=%q} %s\n", fam, stage, promFloat(p.counters[fam][stage]))
+		for _, labels := range sortedKeys(p.counters[fam]) {
+			fmt.Fprintf(w, "%s{%s} %s\n", fam, labels, promFloat(p.counters[fam][labels]))
 		}
 	}
-	for _, fam := range sortedFamilies(p.gauges) {
+	for _, fam := range sortedKeys(p.gauges) {
 		fmt.Fprintf(w, "# TYPE %s gauge\n", fam)
-		for _, stage := range sortedStages(p.gauges[fam]) {
-			fmt.Fprintf(w, "%s{stage=%q} %s\n", fam, stage, promFloat(p.gauges[fam][stage]))
+		for _, labels := range sortedKeys(p.gauges[fam]) {
+			fmt.Fprintf(w, "%s{%s} %s\n", fam, labels, promFloat(p.gauges[fam][labels]))
 		}
 	}
-	for _, fam := range sortedFamilies(p.hists) {
+	for _, fam := range sortedKeys(p.hists) {
 		fmt.Fprintf(w, "# TYPE %s histogram\n", fam)
-		for _, stage := range sortedStages(p.hists[fam]) {
-			d := p.hists[fam][stage]
+		for _, labels := range sortedKeys(p.hists[fam]) {
+			d := p.hists[fam][labels]
 			// Cumulative buckets over the populated range only: a sparse
 			// bucket set is valid exposition, and 64 mostly-empty series
 			// per histogram would bloat every scrape.
@@ -142,27 +188,18 @@ func (p *PromSink) writeExposition(w io.Writer) {
 				if i < histBuckets-1 {
 					le = strconv.FormatInt(HistBucketUpper(i), 10)
 				}
-				fmt.Fprintf(w, "%s_bucket{stage=%q,le=%q} %d\n", fam, stage, le, cum)
+				fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n", fam, labels, le, cum)
 			}
 			if len(idxs) == 0 || idxs[len(idxs)-1] < histBuckets-1 {
-				fmt.Fprintf(w, "%s_bucket{stage=%q,le=\"+Inf\"} %d\n", fam, stage, cum)
+				fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", fam, labels, cum)
 			}
-			fmt.Fprintf(w, "%s_sum{stage=%q} %d\n", fam, stage, d.Sum)
-			fmt.Fprintf(w, "%s_count{stage=%q} %d\n", fam, stage, d.Count)
+			fmt.Fprintf(w, "%s_sum{%s} %d\n", fam, labels, d.Sum)
+			fmt.Fprintf(w, "%s_count{%s} %d\n", fam, labels, d.Count)
 		}
 	}
 }
 
-func sortedFamilies[V any](m map[string]V) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
-}
-
-func sortedStages[V any](m map[string]V) []string {
+func sortedKeys[V any](m map[string]V) []string {
 	out := make([]string, 0, len(m))
 	for k := range m {
 		out = append(out, k)
@@ -196,4 +233,28 @@ func promName(s string) string {
 		}
 	}
 	return string(b)
+}
+
+// promLabel escapes a label value per the Prometheus text format:
+// backslash, double quote, and newline are the only characters that
+// need escaping inside a quoted label value.
+func promLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 4)
+	for _, c := range []byte(s) {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
 }

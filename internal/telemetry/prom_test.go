@@ -132,3 +132,70 @@ func TestPromName(t *testing.T) {
 		}
 	}
 }
+
+// TestPromLabelEscaping: stage and tenant values containing the three
+// characters the text format escapes (backslash, quote, newline) render
+// escaped, not raw.
+func TestPromLabelEscaping(t *testing.T) {
+	p := NewPromSink("t")
+	p.Emit(Event{Type: EventSpanEnd, ID: 1, Stage: "we\"ird\\st\nage", DurNS: 5,
+		Attrs: map[string]string{"tenant": "acme\"corp"}})
+	out := scrape(t, p)
+	want := `t_spans_total{stage="we\"ird\\st\nage",tenant="acme\"corp"} 1`
+	if !strings.Contains(out, want) {
+		t.Errorf("escaped series missing.\nwant: %s\ngot:\n%s", want, out)
+	}
+	if strings.Contains(out, "st\nage") {
+		t.Errorf("raw newline leaked into exposition:\n%s", out)
+	}
+}
+
+// TestPromTenantOverflow: beyond the tenant cap, new tenants fold into
+// tenant="other" while established tenants keep their own series.
+func TestPromTenantOverflow(t *testing.T) {
+	p := NewPromSink("t")
+	p.SetTenantLimit(2)
+	obs := func(tenant string) Event {
+		return Event{Type: EventSpanEnd, ID: 0, Stage: "service",
+			Counters: map[string]int64{"jobs_done": 1},
+			Attrs:    map[string]string{"tenant": tenant}}
+	}
+	p.Emit(obs("alpha"))
+	p.Emit(obs("beta"))
+	p.Emit(obs("gamma")) // over the cap: folded
+	p.Emit(obs("delta")) // over the cap: folded
+	p.Emit(obs("alpha")) // established tenant keeps its series
+
+	out := scrape(t, p)
+	for series, want := range map[string]string{
+		`t_jobs_done_total{stage="service",tenant="alpha"} 2`: "alpha keeps its own series",
+		`t_jobs_done_total{stage="service",tenant="beta"} 1`:  "beta under the cap",
+		`t_jobs_done_total{stage="service",tenant="other"} 2`: "gamma+delta folded into other",
+	} {
+		if !strings.Contains(out, series) {
+			t.Errorf("%s: missing %q\ngot:\n%s", want, series, out)
+		}
+	}
+	if strings.Contains(out, "gamma") || strings.Contains(out, "delta") {
+		t.Errorf("over-cap tenant leaked its own label:\n%s", out)
+	}
+}
+
+// TestPromObservationEventsNotSpans: ID-0 metric flushes feed their
+// counters/gauges but never the span families.
+func TestPromObservationEventsNotSpans(t *testing.T) {
+	p := NewPromSink("t")
+	p.Emit(Event{Type: EventSpanEnd, ID: 0, Stage: "service",
+		Counters: map[string]int64{"cache_hits": 3},
+		Gauges:   map[string]float64{"queue_depth": 2}})
+	out := scrape(t, p)
+	if !strings.Contains(out, `t_cache_hits_total{stage="service"} 3`) ||
+		!strings.Contains(out, `t_queue_depth{stage="service"} 2`) {
+		t.Errorf("observation metrics missing:\n%s", out)
+	}
+	for _, family := range []string{"t_spans_total", "t_stage_last_duration_ns", "t_stage_duration_ns"} {
+		if strings.Contains(out, family) {
+			t.Errorf("observation event leaked into span family %s:\n%s", family, out)
+		}
+	}
+}

@@ -28,8 +28,14 @@ const (
 	EventSpanStart EventType = "span_start"
 	// EventSpanEnd is emitted exactly once when a span closes; it carries
 	// the duration, the error (if any), and the span's counter/gauge
-	// values.
+	// values. A span_end with ID 0 is an observation event — a metric
+	// flush with no matching span_start (the service emits these) — and
+	// is exempt from trace balance checking.
 	EventSpanEnd EventType = "span_end"
+	// EventLog is a structured log record forwarded into the event
+	// stream by Logger, so sinks (notably the flight recorder) retain
+	// log lines interleaved with spans.
+	EventLog EventType = "log"
 )
 
 // Event is one telemetry record. It doubles as the NDJSON wire format:
@@ -53,6 +59,14 @@ type Event struct {
 	// sparse power-of-two bucket populations, mergeable across spans and
 	// across runs (see HistData).
 	Hists map[string]HistData `json:"hists,omitempty"`
+	// Attrs carries the emitting component's correlation identity
+	// (run_id, job_id, tenant, ...) plus, on log records, the record's
+	// structured fields. The map is shared across events from one
+	// Tracer and must be treated as read-only by sinks.
+	Attrs map[string]string `json:"attrs,omitempty"`
+	// Level and Msg are set on EventLog records only.
+	Level string `json:"level,omitempty"`
+	Msg   string `json:"msg,omitempty"`
 }
 
 // Sink consumes telemetry events. Emit must be safe for concurrent use:
@@ -71,6 +85,7 @@ func (f FuncSink) Emit(e Event) { f(e) }
 // zero-cost disabled state is a nil *Tracer, not a Tracer with no sinks.
 type Tracer struct {
 	sinks []Sink
+	attrs map[string]string // stamped onto every event; read-only once set
 	ids   atomic.Int64
 	now   func() time.Time // test hook; time.Now in production
 }
@@ -78,6 +93,28 @@ type Tracer struct {
 // New returns a Tracer delivering events to the given sinks.
 func New(sinks ...Sink) *Tracer {
 	return &Tracer{sinks: sinks, now: time.Now}
+}
+
+// WithAttrs returns a Tracer sharing the receiver's sinks whose every
+// event carries the given correlation attrs (merged over any the
+// receiver already stamps). tpid uses this to stamp run_id/job_id/
+// tenant onto every span a flow run emits. The derived tracer has its
+// own span-ID sequence, so derive before opening spans, not mid-trace.
+// The attrs map is retained and shared by reference: callers must not
+// mutate it, and sinks must treat Event.Attrs as read-only. Safe on a
+// nil receiver (stays nil: disabled telemetry stays free).
+func (t *Tracer) WithAttrs(attrs map[string]string) *Tracer {
+	if t == nil || len(attrs) == 0 {
+		return t
+	}
+	merged := make(map[string]string, len(t.attrs)+len(attrs))
+	for k, v := range t.attrs {
+		merged[k] = v
+	}
+	for k, v := range attrs {
+		merged[k] = v
+	}
+	return &Tracer{sinks: t.sinks, attrs: merged, now: t.now}
 }
 
 // StartSpan opens a root span for one flow stage or sweep level. Safe on
@@ -100,6 +137,9 @@ func (t *Tracer) newSpan(parent *Span, stage string, tp float64) *Span {
 }
 
 func (t *Tracer) emit(e Event) {
+	if e.Attrs == nil {
+		e.Attrs = t.attrs
+	}
 	for _, s := range t.sinks {
 		s.Emit(e)
 	}

@@ -22,6 +22,9 @@ type SpanRecord struct {
 	Counters  map[string]int64
 	Gauges    map[string]float64
 	Hists     map[string]HistData
+	// Attrs is the span's correlation identity (run_id, job_id, tenant)
+	// as stamped on its span_end event.
+	Attrs map[string]string
 }
 
 // Trace is a parsed NDJSON trace file.
@@ -32,6 +35,13 @@ type Trace struct {
 	// Unbalanced lists span IDs that started but never ended, or ended
 	// without a start — a crashed or mis-instrumented run.
 	Unbalanced []int64
+	// Observations holds span_end events with ID 0: metric flushes the
+	// service emits with no matching span_start (queue depth, cache
+	// hits, per-tenant SLO samples). They are not spans and do not count
+	// against balance.
+	Observations []Event
+	// Logs holds the EventLog records interleaved in the stream.
+	Logs []Event
 }
 
 // ParseTrace reads an NDJSON trace. Every line must parse as an Event;
@@ -60,6 +70,13 @@ func ParseTrace(r io.Reader) (*Trace, error) {
 		case EventSpanStart:
 			open[e.ID] = e
 		case EventSpanEnd:
+			if _, openZero := open[0]; e.ID == 0 && !openZero {
+				// A bare id-0 end with no matching start is a service
+				// metric flush, not a span. (Tracers mint span ids from
+				// 1, but a trace that DID start span 0 still pairs.)
+				tr.Observations = append(tr.Observations, e)
+				continue
+			}
 			start, ok := open[e.ID]
 			if !ok {
 				tr.Unbalanced = append(tr.Unbalanced, e.ID)
@@ -72,7 +89,10 @@ func ParseTrace(r io.Reader) (*Trace, error) {
 				TPPercent: e.TPPercent, Start: start.Time,
 				Duration: time.Duration(e.DurNS), Err: e.Err,
 				Counters: e.Counters, Gauges: e.Gauges, Hists: e.Hists,
+				Attrs: e.Attrs,
 			})
+		case EventLog:
+			tr.Logs = append(tr.Logs, e)
 		default:
 			return nil, fmt.Errorf("trace line %d: unknown event type %q", lineNo, e.Type)
 		}
