@@ -10,7 +10,7 @@ TRACE_INCR_OUT ?= trace_incr.ndjson
 TRACE_INCR_BASELINE ?= trace_incr_baseline.ndjson
 MAX_REGRESS ?= 25
 
-.PHONY: test race bench bench-json bench-smoke trace-smoke trace-diff trace-incr-smoke trace-incr-diff metrics-smoke service-smoke flight-smoke crash-smoke chaos
+.PHONY: test race bench bench-json bench-smoke trace-smoke trace-diff trace-incr-smoke trace-incr-diff metrics-smoke service-smoke flight-smoke history-smoke crash-smoke chaos
 
 test:
 	go build ./... && go vet ./... && go test ./...
@@ -173,6 +173,67 @@ flight-smoke:
 	kill -TERM $$pid; wait $$pid || { echo "flight-smoke: drain exited non-zero"; exit 1; }; \
 	trap - EXIT; \
 	echo "flight-smoke: correlation, flight dump, tenant SLOs, SIGQUIT all OK"
+
+# history-smoke is the run-history CI gate: tpid runs with an archive
+# and per-run profiling, the same budgeted job (atpg_budget_ms makes it
+# non-cacheable, so the repeat executes a real flow) is submitted twice,
+# and then: both runs must be archived, the archived trace must gunzip
+# and pass tracestat via stdin, the second run's diff against the first
+# must say no-regression, tpid_service_regression_total must scrape as
+# zero, and the captured CPU profile must carry run_id/stage pprof
+# labels. -max-regress 75 keeps shared-CI timing jitter out of the gate.
+history-smoke:
+	go build -o tpid-smoke ./cmd/tpid
+	go build -o tracestat-smoke ./cmd/tracestat
+	@set -e; \
+	rm -rf history-smoke-data; \
+	./tpid-smoke -addr localhost:9354 -workers 2 -flow-workers 2 -data-dir history-smoke-data \
+		-profile-runs -max-regress 75 >history-smoke.log 2>&1 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	up=0; for i in $$(seq 1 100); do \
+		curl -sf http://localhost:9354/healthz >/dev/null 2>&1 && { up=1; break; }; sleep 0.1; \
+	done; \
+	test $$up = 1 || { echo "history-smoke: tpid never came up"; cat history-smoke.log; exit 1; }; \
+	body='{"tenant":"smoke","circuit":{"spec":"s38417c","scale":0.05},"tp_levels":[0,2],"flow":{"experiment":"s38417c","atpg_budget_ms":600000}}'; \
+	run=""; \
+	for attempt in 1 2; do \
+		id=$$(curl -sf -X POST -d "$$body" http://localhost:9354/v1/jobs | sed -n 's/.*"id": "\([^"]*\)".*/\1/p'); \
+		test -n "$$id" || { echo "history-smoke: submission $$attempt rejected"; exit 1; }; \
+		ok=0; for i in $$(seq 1 600); do \
+			curl -sf http://localhost:9354/v1/jobs/$$id/result -o /dev/null 2>/dev/null && { ok=1; break; }; sleep 0.5; \
+		done; \
+		test $$ok = 1 || { echo "history-smoke: job $$attempt never finished"; exit 1; }; \
+		run=$$(curl -sf http://localhost:9354/v1/jobs/$$id | sed -n 's/.*"run_id": "\([^"]*\)".*/\1/p'); \
+		test -n "$$run" || { echo "history-smoke: job $$attempt carries no run_id (cache hit?)"; exit 1; }; \
+		arch=0; for i in $$(seq 1 100); do \
+			curl -sf http://localhost:9354/v1/runs/$$run -o history-smoke-run$$attempt.json 2>/dev/null && { arch=1; break; }; sleep 0.1; \
+		done; \
+		test $$arch = 1 || { echo "history-smoke: run $$run never archived"; exit 1; }; \
+		echo "history-smoke: run $$attempt archived as $$run"; \
+	done; \
+	grep -q '"verdict": "no-baseline"' history-smoke-run1.json \
+		|| { echo "history-smoke: first run should have no baseline"; cat history-smoke-run1.json; exit 1; }; \
+	curl -sf http://localhost:9354/v1/runs/$$run/trace | gunzip -c | ./tracestat-smoke - >history-smoke-stat.txt \
+		|| { echo "history-smoke: archived trace failed tracestat"; cat history-smoke-stat.txt; exit 1; }; \
+	curl -sf http://localhost:9354/v1/runs/$$run/diff -o history-smoke-diff.json; \
+	grep -q '"verdict": "no-regression"' history-smoke-diff.json \
+		|| { echo "history-smoke: rerun diff is not clean"; cat history-smoke-diff.json; exit 1; }; \
+	curl -sf http://localhost:9354/metrics -o history-smoke-metrics.txt; \
+	grep -q 'tpid_service_regression_total' history-smoke-metrics.txt \
+		|| { echo "history-smoke: regression counter family missing"; exit 1; }; \
+	if grep 'tpid_service_regression_total{' history-smoke-metrics.txt | grep -qv ' 0$$'; then \
+		echo "history-smoke: regression counter moved on identical reruns"; \
+		grep tpid_service_regression history-smoke-metrics.txt; exit 1; \
+	fi; \
+	grep -q 'tpid_service_runs_archived_total' history-smoke-metrics.txt \
+		|| { echo "history-smoke: archive counters missing from /metrics"; exit 1; }; \
+	curl -sf http://localhost:9354/v1/runs/$$run/profile -o history-smoke.pprof \
+		|| { echo "history-smoke: no archived CPU profile"; exit 1; }; \
+	gunzip -c history-smoke.pprof | grep -aq run_id || { echo "history-smoke: profile lacks run_id label"; exit 1; }; \
+	gunzip -c history-smoke.pprof | grep -aq stage || { echo "history-smoke: profile lacks stage label"; exit 1; }; \
+	kill -TERM $$pid; wait $$pid || { echo "history-smoke: drain exited non-zero"; exit 1; }; \
+	trap - EXIT; \
+	echo "history-smoke: archive, trace, clean diff, zero counter, labeled profile all OK"
 
 # crash-smoke is the durability CI gate: TestCrashRestartResumesSweep
 # builds the real tpid binary, starts it with a journal directory,

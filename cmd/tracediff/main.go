@@ -1,14 +1,16 @@
 // Command tracediff compares two flow recordings — NDJSON span traces
-// (tpiflow -trace ...) or benchjson ledgers (*.json) — and prints a
-// Table-2-style per-stage delta report: baseline vs current duration
-// per stage × TP level, the signed percentage change, and any counter
-// drift (patterns, cuts, overflows — deterministic, so any drift is a
-// real behavioral change).
+// (tpiflow -trace ..., plain or gzipped) or benchjson ledgers (*.json)
+// — and prints a Table-2-style per-stage delta report: baseline vs
+// current duration per stage × TP level, the signed percentage change,
+// and any counter drift (patterns, cuts, overflows — deterministic, so
+// any drift is a real behavioral change).
 //
 // It is the repo's cross-run regression sentinel: the exit status is 1
 // when any stage regressed beyond -max-regress percent, so CI can diff
 // a fresh trace-smoke artifact against the committed baseline and fail
-// the build on a real slowdown.
+// the build on a real slowdown. The same align/compare core
+// (internal/tracecmp) runs inside tpid, diffing every retired run
+// against its archived baseline.
 //
 // Usage:
 //
@@ -17,6 +19,7 @@
 //	tpiflow -circuit s38417c -trace new.ndjson
 //	tracediff -max-regress 25 -min-dur 100ms trace_baseline.ndjson new.ndjson
 //	tracediff -base-section baseline BENCH_BASELINE.json BENCH_PR5.json
+//	curl -s tpid:8080/v1/runs/r42/trace | tracediff trace_baseline.ndjson -
 //
 // Wall-clock comparisons across machines are noisy; -normalize compares
 // each stage's share of its run's total time instead of absolute
@@ -26,7 +29,8 @@
 // an absolute backstop: -hard-regress gates any stage whose wall time
 // grew beyond that percentage regardless of share. Inputs ending in
 // .json are read as benchjson ledgers (pick the section with -section);
-// everything else is parsed as an NDJSON trace.
+// everything else — including "-" for stdin — is parsed as an NDJSON
+// trace, gunzipped transparently when it starts with the gzip magic.
 //
 // Exit status: 0 clean, 1 regression beyond threshold, 2 usage or
 // parse failure.
@@ -35,8 +39,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+
+	"tpilayout/internal/tracecmp"
 )
 
 func main() {
@@ -67,30 +74,37 @@ func main() {
 		os.Exit(2)
 	}
 
-	rep := diff(base, cur, options{
-		maxRegressPct:  *maxRegress,
-		hardRegressPct: *hardRegress,
-		minDur:         *minDur,
-		normalize:      *normalize,
+	rep := tracecmp.Diff(base, cur, tracecmp.Options{
+		MaxRegressPct:  *maxRegress,
+		HardRegressPct: *hardRegress,
+		MinDur:         *minDur,
+		Normalize:      *normalize,
 	})
-	rep.write(os.Stdout)
-	if len(rep.regressions) > 0 {
+	rep.Write(os.Stdout)
+	if len(rep.Regressions) > 0 {
 		fmt.Fprintf(os.Stderr, "tracediff: %d stage(s) regressed beyond threshold (vs %s)\n",
-			len(rep.regressions), flag.Arg(0))
+			len(rep.Regressions), flag.Arg(0))
 		os.Exit(1)
 	}
 }
 
 // load reads one input, dispatching on the suffix: *.json is a
-// benchjson ledger, anything else an NDJSON trace.
-func load(path, section string) (*side, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
+// benchjson ledger, anything else — including "-" for stdin — an
+// NDJSON trace (plain or gzipped).
+func load(path, section string) (*tracecmp.Side, error) {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
 	}
-	defer f.Close()
 	if strings.HasSuffix(path, ".json") {
-		return loadLedger(f, section)
+		return tracecmp.LoadLedger(r, section)
 	}
-	return loadTrace(f)
+	return tracecmp.LoadTrace(r)
 }

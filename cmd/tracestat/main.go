@@ -9,6 +9,11 @@
 //	tpiflow -circuit s38417c -trace out.ndjson
 //	tracestat out.ndjson
 //	tracestat < out.ndjson
+//	curl -s tpid:8080/v1/runs/r000042/trace | tracestat -
+//
+// Inputs may be gzip-compressed (tpid's archived traces are): the gzip
+// magic is sniffed and decompressed transparently. "-" (or no argument)
+// reads stdin.
 //
 // The exit status is non-zero if the trace is unbalanced (a span
 // started but never ended, or vice versa) — the signature of a crashed
@@ -54,7 +59,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: tracestat [flags] [trace.ndjson]")
 		os.Exit(2)
 	}
-	if flag.NArg() == 1 {
+	if flag.NArg() == 1 && flag.Arg(0) != "-" {
 		name = flag.Arg(0)
 		f, err := os.Open(name)
 		if err != nil {

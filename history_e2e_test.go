@@ -1,0 +1,236 @@
+package tpilayout
+
+// End-to-end test of the run-history archive and regression sentinel:
+// the same job is executed twice against a live durable daemon with a
+// simulated SIGKILL and restart in between. Both runs must survive in
+// the archive with intact gzip traces, and the second run's diff
+// against the pre-crash baseline must report zero regressions.
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"tpilayout/internal/service"
+	"tpilayout/internal/telemetry"
+	"tpilayout/internal/tracecmp"
+	"tpilayout/internal/trachive"
+)
+
+// e2eBench is a minimal netlist; the ATPG budget makes the submission
+// non-cacheable, so the identical resubmission executes a real flow
+// (a cache answer would archive nothing and leave the sentinel idle).
+const e2eBench = `INPUT(a)
+INPUT(b)
+OUTPUT(y)
+d1 = DFF(a) # domain=clk
+y = NAND(d1, b)
+`
+
+func historyJob(t *testing.T) []byte {
+	t.Helper()
+	body, err := json.Marshal(service.JobRequest{
+		Tenant:   "e2e",
+		Circuit:  service.CircuitSpec{Bench: e2eBench, Name: "tiny"},
+		TPLevels: []float64{1},
+		Flow:     service.FlowConfig{SkipATPG: true, ATPGBudgetMS: 600000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// runJobToArchive submits the job, waits for it to finish, then waits
+// for the retirement hook to land it in the archive.
+func runJobToArchive(t *testing.T, base string, body []byte) trachive.Meta {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st service.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d (%+v)", resp.StatusCode, st)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		got := getJSON[service.JobStatus](t, base+"/v1/jobs/"+st.ID)
+		if got.State == service.StateDone {
+			st = got
+			break
+		}
+		if got.State == service.StateFailed || got.State == service.StateCanceled {
+			t.Fatalf("job ended %s: %s", got.State, got.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", got.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st.CacheHit || st.RunID == "" {
+		t.Fatalf("budgeted job must run a fresh flow: %+v", st)
+	}
+	return waitMeta(t, base, st.RunID)
+}
+
+func waitMeta(t *testing.T, base, runID string) trachive.Meta {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/runs/" + runID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			var m trachive.Meta
+			err := json.NewDecoder(resp.Body).Decode(&m)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		}
+		resp.Body.Close()
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("run %s never archived", runID)
+	return trachive.Meta{}
+}
+
+// checkArchivedTrace fetches the run's archived trace and verifies it
+// is an intact gzip NDJSON span tree.
+func checkArchivedTrace(t *testing.T, base, runID string) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/runs/" + runID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET trace(%s) = %d", runID, resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gz, err := gzip.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("trace(%s) is not gzip: %v", runID, err)
+	}
+	tr, err := telemetry.ParseTrace(gz)
+	if err != nil {
+		t.Fatalf("trace(%s) does not parse: %v", runID, err)
+	}
+	if !tr.Balanced() || len(tr.Spans) == 0 {
+		t.Fatalf("trace(%s): balanced=%v spans=%d", runID, tr.Balanced(), len(tr.Spans))
+	}
+}
+
+func TestHistoryEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	open := func() (*service.Server, *httptest.Server) {
+		srv, err := service.Open(service.Options{Workers: 1, DataDir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for !srv.Stats().Ready {
+			if time.Now().After(deadline) {
+				t.Fatal("daemon never became ready")
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/v1/", srv)
+		return srv, httptest.NewServer(mux)
+	}
+
+	// Incarnation one: run the job, see it archived, then die without
+	// any orderly shutdown — the archive index must not need one.
+	srv1, ts1 := open()
+	body := historyJob(t)
+	m1 := runJobToArchive(t, ts1.URL, body)
+	if m1.State != "done" || m1.BaselineKey == "" {
+		t.Fatalf("first run meta: %+v", m1)
+	}
+	if m1.Diff == nil || m1.Diff.Verdict != "no-baseline" {
+		t.Fatalf("first run of its key should have no baseline: %+v", m1.Diff)
+	}
+	checkArchivedTrace(t, ts1.URL, m1.RunID)
+	srv1.Kill() // simulated SIGKILL: no archive close, no compaction
+	ts1.Close()
+
+	// Incarnation two: the pre-crash run is still there, trace intact,
+	// and an identical rerun diffs clean against it.
+	srv2, ts2 := open()
+	defer func() {
+		ts2.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv2.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	}()
+	recovered := waitMeta(t, ts2.URL, m1.RunID)
+	if recovered.TraceBytes != m1.TraceBytes || recovered.Seq != m1.Seq {
+		t.Fatalf("run mutated across crash: %+v vs %+v", m1, recovered)
+	}
+	checkArchivedTrace(t, ts2.URL, m1.RunID)
+
+	m2 := runJobToArchive(t, ts2.URL, body)
+	if m2.RunID == m1.RunID {
+		t.Fatal("rerun reused the first run_id")
+	}
+	if m2.BaselineKey != m1.BaselineKey {
+		t.Fatalf("baseline keys diverged: %q vs %q", m1.BaselineKey, m2.BaselineKey)
+	}
+	if m2.Diff == nil || m2.Diff.Verdict != "no-regression" || m2.Diff.Against != m1.RunID {
+		t.Fatalf("rerun diff: %+v", m2.Diff)
+	}
+	checkArchivedTrace(t, ts2.URL, m2.RunID)
+
+	// The diff endpoint re-derives the same verdict from the archived
+	// artifacts: zero regression rows against the pre-crash baseline.
+	resp, err := http.Get(ts2.URL + "/v1/runs/" + m2.RunID + "/diff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET diff = %d", resp.StatusCode)
+	}
+	var diff struct {
+		Verdict string           `json:"verdict"`
+		Against string           `json:"against"`
+		Report  *tracecmp.Report `json:"report"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&diff); err != nil {
+		t.Fatal(err)
+	}
+	if diff.Verdict != "no-regression" || diff.Against != m1.RunID {
+		t.Fatalf("diff endpoint: %+v", diff)
+	}
+	if diff.Report == nil || len(diff.Report.Regressions) != 0 {
+		t.Fatalf("expected zero regressions, got %+v", diff.Report)
+	}
+
+	// Both incarnations' runs are in the archive, newest first.
+	runs := getJSON[struct {
+		Runs []trachive.Meta `json:"runs"`
+	}](t, ts2.URL+"/v1/runs?baseline="+m1.BaselineKey)
+	if len(runs.Runs) != 2 || runs.Runs[0].RunID != m2.RunID || runs.Runs[1].RunID != m1.RunID {
+		t.Fatalf("archived runs: %+v", runs.Runs)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime/pprof"
 	"time"
 
 	"tpilayout/internal/atpg"
@@ -272,10 +273,16 @@ func runInPlace(ctx context.Context, design *netlist.Netlist, cfg Config, chain 
 			runSpan.EndErr(err)
 		}
 	}()
+	// Stage names ride on the goroutine's pprof labels (on top of any
+	// run_id/tp_level labels the ctx already carries from RunLevel), so
+	// profile samples attribute to the Fig. 2 stage that burned them.
+	// Restored on exit: the goroutine may be a pooled sweep worker.
+	defer pprof.SetGoroutineLabels(ctx)
 	enter := func(s string) error {
 		endStage(nil)
 		stage = s
 		stageSpan = runSpan.Child(s)
+		pprof.SetGoroutineLabels(pprof.WithLabels(ctx, pprof.Labels("stage", s)))
 		if cfg.StageHook != nil {
 			cfg.StageHook(s, cfg.TPPercent)
 		}

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -14,6 +16,19 @@ import (
 	"tpilayout/internal/supervise"
 	"tpilayout/internal/telemetry"
 )
+
+// runLabels builds the pprof label set attributing profile samples to
+// one flow run: tp_level always, run_id when the service stamped one
+// onto the telemetry tracer. Goroutines the stages spawn (fault-sim
+// shards, sweep workers' children) inherit the labels, so a live
+// /debug/pprof/profile sample is attributable to its run and level.
+func runLabels(cfg Config, pct float64) pprof.LabelSet {
+	kv := []string{"tp_level", strconv.FormatFloat(pct, 'g', -1, 64)}
+	if rid := cfg.Telemetry.Attr("run_id"); rid != "" {
+		kv = append(kv, "run_id", rid)
+	}
+	return pprof.Labels(kv...)
+}
 
 // ExperimentConfig returns the per-circuit flow configuration the paper
 // describes: chains of at most 100 flops for s38417 and circuit 1 with
@@ -111,7 +126,11 @@ func RunLevel(ctx context.Context, base *netlist.Netlist, cfg Config, pct float6
 	// Each level runs in place on its own clone of the prewarmed base,
 	// so the shared base stays strictly read-only inside the worker and
 	// the flow pays no second defensive clone.
-	r, err := RunInPlace(ctx, base.Clone(), c)
+	var r *Result
+	var err error
+	pprof.Do(ctx, runLabels(c, pct), func(ctx context.Context) {
+		r, err = RunInPlace(ctx, base.Clone(), c)
+	})
 	if err != nil {
 		out.Err = err
 		return out
@@ -157,7 +176,11 @@ func RunLevelChained(ctx context.Context, base *netlist.Netlist, cfg Config, pct
 	// Each level runs in place on its own clone, so the shared base (or
 	// artifact snapshot) stays strictly read-only and the flow pays no
 	// second defensive clone.
-	r, err := runInPlace(ctx, src.Clone(), c, chain)
+	var r *Result
+	var err error
+	pprof.Do(ctx, runLabels(c, pct), func(ctx context.Context) {
+		r, err = runInPlace(ctx, src.Clone(), c, chain)
+	})
 	arts = chain.out
 	if err != nil {
 		out.Err = err

@@ -69,7 +69,9 @@ func (b *broadcaster) next(ctx context.Context, from int) (tail []telemetry.Even
 	}
 }
 
-// snapshot returns all events retained so far (for tests).
+// snapshot returns all events retained so far. The archive calls it at
+// retirement (after Close — retention survives closing) to persist the
+// run's full trace; tests use it to assert on streams.
 func (b *broadcaster) snapshot() []telemetry.Event {
 	b.mu.Lock()
 	defer b.mu.Unlock()

@@ -106,6 +106,8 @@ type compiled struct {
 	levels    []float64
 	key       string
 	baseKey   string // level-independent address: checkpoint key prefix
+	circHash  string // circuit-only hash: run-history baseline key half
+	cfgHash   string // config-only hash: the other baseline key half
 	bench     string // canonical .bench text (journal accepted records)
 	preset    string // resolved experiment preset (pinned for replay)
 	cacheable bool
@@ -203,8 +205,42 @@ func compileRequest(req *JobRequest) (*compiled, error) {
 	// so a resubmission with a different level mix still resumes the
 	// levels it has in common with earlier runs.
 	c.baseKey = keyFromBench(c.bench, &cfg, nil, 0)
+	// The history hashes split the content address into its two halves,
+	// so the run archive can answer "same circuit, any config" and "same
+	// config, any circuit" queries independently. Levels are excluded:
+	// the regression sentinel aligns runs per (stage, tp) cell, so two
+	// sweeps over different level mixes still diff on the levels they
+	// share. The ATPG budget stays in the config hash — a budgeted run
+	// is not comparable to an unbudgeted one.
+	c.circHash = circuitHash(c.bench)
+	c.cfgHash = configHash(&cfg, fc.ATPGBudgetMS)
 	c.cacheable = fc.ATPGBudgetMS == 0
 	return c, nil
+}
+
+// circuitHash is the circuit half of the archive baseline key: SHA-256
+// over the canonical bench text with the same domain separator the
+// cache key uses.
+func circuitHash(bench string) string {
+	h := sha256.Sum256([]byte("tpid/v1/circuit\n" + bench))
+	return hex.EncodeToString(h[:])
+}
+
+// configHash is the config half of the archive baseline key: SHA-256
+// over the resolved config (level list excluded, ATPG budget included).
+func configHash(cfg *flow.Config, budgetMS int64) string {
+	hc := hashedConfig{
+		MaxChains:         cfg.Scan.MaxChains,
+		MaxChainLength:    cfg.Scan.MaxChainLength,
+		SEFanoutLimit:     cfg.Scan.SEFanoutLimit,
+		TargetUtilization: cfg.Place.TargetUtilization,
+		SkipATPG:          cfg.SkipATPG,
+		TimingOptRounds:   cfg.TimingOptRounds,
+		ATPGBudgetMS:      budgetMS,
+	}
+	cfgJSON, _ := json.Marshal(hc) // fixed field set: cannot fail
+	h := sha256.Sum256(append([]byte("tpid/v1/config\n"), cfgJSON...))
+	return hex.EncodeToString(h[:])
 }
 
 // levelKey addresses one checkpointed level: the level-independent base

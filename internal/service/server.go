@@ -9,6 +9,7 @@ import (
 	"fmt"
 	mrand "math/rand"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
@@ -20,6 +21,7 @@ import (
 	"tpilayout/internal/journal"
 	"tpilayout/internal/netlist"
 	"tpilayout/internal/telemetry"
+	"tpilayout/internal/trachive"
 )
 
 // State is a job's lifecycle position.
@@ -45,6 +47,8 @@ type run struct {
 	id        string // run_id: the correlation identity of this flow run
 	key       string
 	baseKey   string // level-independent content address (checkpoint keys)
+	circHash  string // circuit-only hash (run-history baseline key)
+	cfgHash   string // config-only hash (run-history baseline key)
 	cacheable bool
 	tenant    string // queue bucket: the first submitter's tenant
 	primary   string // job_id of the first submitter (correlation attrs)
@@ -60,6 +64,9 @@ type run struct {
 	cancel    context.CancelFunc
 
 	enqueued time.Time
+	started  time.Time // when the flow actually began executing
+
+	profile []byte // per-run CPU profile (nil unless -profile-runs captured one)
 
 	retryBudget   atomic.Int64 // remaining per-job retry tokens
 	retries       atomic.Int64 // retries spent so far
@@ -177,6 +184,12 @@ type Stats struct {
 	LevelsResumed int64 `json:"levels_resumed"`
 	ReplayedJobs  int64 `json:"replayed_jobs"`
 	JournalErrors int64 `json:"journal_errors"`
+	// Run-history archive counters (zero when history is disabled).
+	RunsArchived  int64 `json:"runs_archived"`
+	Regressions   int64 `json:"regressions"`
+	HistoryRuns   int   `json:"history_runs"`
+	HistoryBytes  int64 `json:"history_bytes"`
+	ArchiveErrors int64 `json:"archive_errors"`
 }
 
 // Options configures a Server.
@@ -244,6 +257,31 @@ type Options struct {
 	// JournalSegmentBytes is the journal's segment-rotation threshold
 	// (default: the journal package's 4 MiB).
 	JournalSegmentBytes int64
+	// HistoryRuns bounds how many retired runs the run-history archive
+	// retains (default 512; negative disables the archive entirely).
+	// The archive only exists for durable servers (DataDir set): it
+	// lives in DataDir/runs.
+	HistoryRuns int
+	// HistoryBudgetBytes bounds the archive's on-disk trace+profile
+	// bytes (default 512 MiB; negative means unbounded).
+	HistoryBudgetBytes int64
+	// ProfileRuns captures a per-run CPU profile (with run_id/stage/
+	// tp_level pprof labels) for each flow run and archives it beside
+	// the trace. Capture is process-global, so concurrent runs are
+	// serialized: a run that arrives while another is being profiled
+	// simply goes unprofiled.
+	ProfileRuns bool
+	// MaxRegressPct is the regression sentinel's share-regression gate
+	// (default 25): a retired run whose stage grew beyond this many
+	// percent versus its archived baseline is flagged.
+	MaxRegressPct float64
+	// HardRegressPct is the sentinel's absolute-time backstop under
+	// normalization (default 150; negative disables).
+	HardRegressPct float64
+	// SentinelMinDur is the sentinel's noise floor: stages whose
+	// baseline duration is below it never gate (default 100ms;
+	// negative disables the floor).
+	SentinelMinDur time.Duration
 
 	// Test hooks (same-package tests only).
 	journalNoSync bool                   // skip per-append fsync
@@ -277,6 +315,25 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.JournalCompactBytes <= 0 {
 		out.JournalCompactBytes = 4 << 20
+	}
+	if out.HistoryRuns == 0 {
+		out.HistoryRuns = 512
+	}
+	if out.HistoryBudgetBytes == 0 {
+		out.HistoryBudgetBytes = 512 << 20
+	}
+	if out.MaxRegressPct <= 0 {
+		out.MaxRegressPct = 25
+	}
+	if out.HardRegressPct == 0 {
+		out.HardRegressPct = 150
+	} else if out.HardRegressPct < 0 {
+		out.HardRegressPct = 0
+	}
+	if out.SentinelMinDur == 0 {
+		out.SentinelMinDur = 100 * time.Millisecond
+	} else if out.SentinelMinDur < 0 {
+		out.SentinelMinDur = 0
 	}
 	out.Retry = out.Retry.withDefaults()
 	return out
@@ -324,6 +381,14 @@ type Server struct {
 	levelsResumed atomic.Int64
 	replayedJobs  atomic.Int64
 	journalErrors atomic.Int64
+
+	// Run-history archive (nil when disabled). profileBusy serializes
+	// per-run CPU profiling: pprof capture is process-global.
+	archive       *trachive.Archive
+	profileBusy   atomic.Bool
+	runsArchived  atomic.Int64
+	regressions   atomic.Int64
+	archiveErrors atomic.Int64
 
 	// runFlow executes one run and returns its result; tests replace it
 	// with a stub to exercise queueing/fairness/shutdown without paying
@@ -390,6 +455,18 @@ func Open(opt Options) (*Server, error) {
 			return nil, err
 		}
 		s.jrnl = j
+		if s.opt.HistoryRuns >= 0 {
+			arch, err := trachive.Open(filepath.Join(s.opt.DataDir, "runs"), trachive.Options{
+				BudgetBytes: s.opt.HistoryBudgetBytes,
+				MaxRuns:     s.opt.HistoryRuns,
+				NoSync:      s.opt.journalNoSync,
+			})
+			if err != nil {
+				j.Close()
+				return nil, fmt.Errorf("service: opening run archive: %w", err)
+			}
+			s.archive = arch
+		}
 		s.replayWG.Add(1)
 		go s.replay(foldRecords(recs))
 	} else {
@@ -403,6 +480,12 @@ func Open(opt Options) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/runs", s.handleRuns)
+	s.mux.HandleFunc("GET /v1/runs/stats", s.handleRunsStats)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleRunMeta)
+	s.mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleRunTrace)
+	s.mux.HandleFunc("GET /v1/runs/{id}/diff", s.handleRunDiff)
+	s.mux.HandleFunc("GET /v1/runs/{id}/profile", s.handleRunProfile)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /debug/flight", s.handleFlight)
@@ -425,6 +508,10 @@ func (s *Server) FlowRuns() int64 { return s.flowRuns.Load() }
 // Stats snapshots the operational counters.
 func (s *Server) Stats() Stats {
 	entries, bytes, hits, misses := s.cache.Stats()
+	var archStats trachive.Stats
+	if s.archive != nil {
+		archStats = s.archive.Stats()
+	}
 	return Stats{
 		QueueDepth:   s.queue.Len(),
 		Running:      int(s.running.Load()),
@@ -445,6 +532,12 @@ func (s *Server) Stats() Stats {
 		LevelsResumed: s.levelsResumed.Load(),
 		ReplayedJobs:  s.replayedJobs.Load(),
 		JournalErrors: s.journalErrors.Load(),
+
+		RunsArchived:  s.runsArchived.Load(),
+		Regressions:   s.regressions.Load(),
+		HistoryRuns:   archStats.Runs,
+		HistoryBytes:  archStats.Bytes,
+		ArchiveErrors: s.archiveErrors.Load(),
 	}
 }
 
@@ -720,6 +813,8 @@ func (s *Server) newRun(comp *compiled, budgetMS int64, job *Job, runID string) 
 		id:        runID,
 		key:       comp.key,
 		baseKey:   comp.baseKey,
+		circHash:  comp.circHash,
+		cfgHash:   comp.cfgHash,
 		cacheable: comp.cacheable,
 		tenant:    comp.tenant,
 		primary:   job.ID,
@@ -812,6 +907,7 @@ func (s *Server) execute(rn *run) {
 		return
 	}
 	rn.startedRunning = true
+	rn.started = now
 	for _, j := range rn.jobs {
 		j.state = StateRunning
 		j.started = now
@@ -833,7 +929,7 @@ func (s *Server) execute(rn *run) {
 		map[string]telemetry.HistData{"service.tenant_queue_wait_ns": telemetry.Observation(int64(wait))})
 	rn.log.Info("run started", "queue_wait_ms", wait.Milliseconds(), "levels", len(rn.levels))
 
-	res, err := s.runFlow(rn)
+	res, err := s.runFlowProfiled(rn)
 	s.running.Add(-1)
 	s.finishRun(rn, res, err)
 }
@@ -1177,6 +1273,14 @@ func (s *Server) finishRun(rn *run, res *JobResult, err error) {
 	}
 	rn.log.Info("run finished", "state", string(state), "jobs", len(jobs),
 		"retries", rn.retries.Load(), "resumed_levels", rn.resumedLevels.Load(), "error", errMsg)
+
+	// Retire the run into the history archive and let the regression
+	// sentinel compare it against its baseline. Only runs that actually
+	// executed a flow are archived — a run torn down while still queued
+	// has no trace worth keeping.
+	if s.archive != nil && rn.startedRunning && !s.dead.Load() {
+		s.archiveRun(rn, jobs, state, errMsg, now)
+	}
 }
 
 // tenantOutcome accumulates one tenant's share of a finished run: the
@@ -1434,6 +1538,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 	close(s.shutdownCh)
 	s.opt.Log.Info("drain finished", "deadline_cut", err != nil)
+	if s.archive != nil {
+		s.archive.Close()
+	}
 	if s.jrnl != nil {
 		s.jrnl.Close()
 	}

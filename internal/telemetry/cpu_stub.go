@@ -1,0 +1,7 @@
+//go:build !unix
+
+package telemetry
+
+// procCPUNS is unavailable without rusage; spans then carry no CPU
+// attribution (cpu_ns omitted from span_end events).
+func procCPUNS() int64 { return 0 }

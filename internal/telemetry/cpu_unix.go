@@ -1,0 +1,18 @@
+//go:build unix
+
+package telemetry
+
+import "syscall"
+
+// procCPUNS returns the process's cumulative CPU time (user + system)
+// in nanoseconds, or 0 when rusage is unavailable. Spans sample it at
+// open and close to attribute CPU to stages; the delta is process-wide,
+// so overlapping spans each see the full process burn (documented as an
+// upper bound — DESIGN.md §16).
+func procCPUNS() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return ru.Utime.Nano() + ru.Stime.Nano()
+}

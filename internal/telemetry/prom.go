@@ -16,6 +16,15 @@ import (
 // tenant label would let one abusive client mint unbounded series.
 const defaultTenantLimit = 32
 
+// extraLabels are event attrs promoted to metric labels beyond tenant:
+// the sentinel's regression families carry the regressed level, and the
+// cross-run rollup gauges carry their baseline key. Each is bounded to
+// extraLimit distinct values with an "other" overflow, the same
+// cardinality defense as the tenant cap.
+var extraLabels = [...]string{"baseline", "level"}
+
+const extraLimit = 64
+
 // PromSink folds telemetry events into a live Prometheus exposition:
 // every counter becomes a `<prefix>_<name>_total` counter family,
 // every gauge a gauge family, every histogram a histogram family with
@@ -44,6 +53,7 @@ type PromSink struct {
 	hists      map[string]map[string]*HistData // family -> label set -> merged data
 	tenants    map[string]bool                 // tenants granted their own label value
 	maxTenants int
+	extras     map[string]map[string]bool // extra label key -> values granted a label
 }
 
 // NewPromSink returns an empty exposition surface. prefix namespaces
@@ -57,6 +67,7 @@ func NewPromSink(prefix string) *PromSink {
 		hists:      map[string]map[string]*HistData{},
 		tenants:    map[string]bool{},
 		maxTenants: defaultTenantLimit,
+		extras:     map[string]map[string]bool{},
 	}
 }
 
@@ -107,6 +118,25 @@ func (p *PromSink) Emit(e Event) {
 // accumulate into one series and the exposition sorts by it.
 func (p *PromSink) labelsLocked(e Event) string {
 	labels := `stage="` + promLabel(e.Stage) + `"`
+	for _, key := range extraLabels {
+		v := e.Attrs[key]
+		if v == "" {
+			continue
+		}
+		vals := p.extras[key]
+		if vals == nil {
+			vals = map[string]bool{}
+			p.extras[key] = vals
+		}
+		if !vals[v] {
+			if len(vals) < extraLimit {
+				vals[v] = true
+			} else {
+				v = "other"
+			}
+		}
+		labels += `,` + key + `="` + promLabel(v) + `"`
+	}
 	if t := e.Attrs["tenant"]; t != "" {
 		if !p.tenants[t] {
 			if len(p.tenants) < p.maxTenants {

@@ -51,7 +51,13 @@ type Event struct {
 	Time      time.Time `json:"t"`
 	// DurNS is the span's wall-clock duration in nanoseconds (span_end
 	// only).
-	DurNS    int64              `json:"dur_ns,omitempty"`
+	DurNS int64 `json:"dur_ns,omitempty"`
+	// CPUNS is the process CPU time (user+system) consumed while the
+	// span was open, in nanoseconds (span_end only; 0 where rusage is
+	// unavailable). It is a process-wide delta: exact when one flow runs
+	// at a time, an attribution upper bound when runs overlap — the
+	// pprof run_id/stage labels give the exact split.
+	CPUNS    int64              `json:"cpu_ns,omitempty"`
 	Err      string             `json:"err,omitempty"`
 	Counters map[string]int64   `json:"counters,omitempty"`
 	Gauges   map[string]float64 `json:"gauges,omitempty"`
@@ -117,6 +123,16 @@ func (t *Tracer) WithAttrs(attrs map[string]string) *Tracer {
 	return &Tracer{sinks: t.sinks, attrs: merged, now: t.now}
 }
 
+// Attr returns the named correlation attr stamped on the tracer's
+// events ("" when unset or on a nil receiver). Flow uses it to carry
+// the service's run_id into pprof labels.
+func (t *Tracer) Attr(key string) string {
+	if t == nil {
+		return ""
+	}
+	return t.attrs[key]
+}
+
 // StartSpan opens a root span for one flow stage or sweep level. Safe on
 // a nil receiver (returns a nil span; the whole subtree is then free).
 func (t *Tracer) StartSpan(stage string, tpPercent float64) *Span {
@@ -127,7 +143,7 @@ func (t *Tracer) StartSpan(stage string, tpPercent float64) *Span {
 }
 
 func (t *Tracer) newSpan(parent *Span, stage string, tp float64) *Span {
-	s := &Span{tr: t, id: t.ids.Add(1), parent: parent, stage: stage, tp: tp, start: t.now()}
+	s := &Span{tr: t, id: t.ids.Add(1), parent: parent, stage: stage, tp: tp, start: t.now(), cpuStart: procCPUNS()}
 	var pid int64
 	if parent != nil {
 		pid = parent.id
@@ -157,6 +173,9 @@ type Span struct {
 	stage  string
 	tp     float64
 	start  time.Time
+	// cpuStart is the process CPU clock at span open; EndErr records the
+	// delta as the span's CPU attribution.
+	cpuStart int64
 
 	mu       sync.Mutex
 	counters []*Counter
@@ -277,6 +296,11 @@ func (s *Span) EndErr(err error) {
 		Duration:  end.Sub(s.start),
 		Children:  s.children,
 	}
+	if s.cpuStart != 0 {
+		if cpu := procCPUNS() - s.cpuStart; cpu > 0 {
+			snap.CPUNS = cpu
+		}
+	}
 	if err != nil {
 		snap.Err = err.Error()
 	}
@@ -322,7 +346,8 @@ func (s *Span) EndErr(err error) {
 	s.tr.emit(Event{
 		Type: EventSpanEnd, ID: s.id, Parent: pid, Stage: s.stage,
 		TPPercent: s.tp, Time: s.start, DurNS: int64(snap.Duration),
-		Err: snap.Err, Counters: snap.Counters, Gauges: snap.Gauges,
+		CPUNS: snap.CPUNS,
+		Err:   snap.Err, Counters: snap.Counters, Gauges: snap.Gauges,
 		Hists: snap.Hists,
 	})
 }
@@ -396,6 +421,7 @@ type Snapshot struct {
 	TPPercent float64             `json:"tp"`
 	Start     time.Time           `json:"start"`
 	Duration  time.Duration       `json:"duration"`
+	CPUNS     int64               `json:"cpu_ns,omitempty"`
 	Err       string              `json:"err,omitempty"`
 	Counters  map[string]int64    `json:"counters,omitempty"`
 	Gauges    map[string]float64  `json:"gauges,omitempty"`

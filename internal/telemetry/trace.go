@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"bufio"
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -18,6 +19,7 @@ type SpanRecord struct {
 	TPPercent float64
 	Start     time.Time
 	Duration  time.Duration
+	CPUNS     int64
 	Err       string
 	Counters  map[string]int64
 	Gauges    map[string]float64
@@ -44,15 +46,37 @@ type Trace struct {
 	Logs []Event
 }
 
-// ParseTrace reads an NDJSON trace. Every line must parse as an Event;
-// a malformed line is an error (a trace that tails off mid-line came
-// from a crashed writer). Balance problems are reported in
-// Trace.Unbalanced, not as an error — call Balanced to gate on them.
+// SniffGzip wraps r so gzip-compressed input (detected by the 0x1f 0x8b
+// magic bytes) is transparently decompressed; plain input passes
+// through. Archived traces are stored gzipped, so tracediff/tracestat
+// accept either form from the same flag.
+func SniffGzip(r io.Reader) (io.Reader, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(2)
+	if err == io.EOF {
+		return br, nil // shorter than 2 bytes: not gzip, let the parser see it
+	}
+	if err != nil {
+		return nil, err
+	}
+	if magic[0] == 0x1f && magic[1] == 0x8b {
+		return gzip.NewReader(br)
+	}
+	return br, nil
+}
+
+// ParseTrace reads an NDJSON trace, transparently decompressing gzip
+// input. Every line must parse as an Event; a malformed line is an
+// error (a trace that tails off mid-line came from a crashed writer).
+// Balance problems are reported in Trace.Unbalanced, not as an error —
+// call Balanced to gate on them.
 func ParseTrace(r io.Reader) (*Trace, error) {
-	tr := &Trace{}
-	open := map[int64]Event{}
-	ended := map[int64]bool{}
-	sc := bufio.NewScanner(r)
+	rr, err := SniffGzip(r)
+	if err != nil {
+		return nil, err
+	}
+	b := newTraceBuilder()
+	sc := bufio.NewScanner(rr)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	lineNo := 0
 	for sc.Scan() {
@@ -65,46 +89,83 @@ func ParseTrace(r io.Reader) (*Trace, error) {
 		if err := json.Unmarshal(line, &e); err != nil {
 			return nil, fmt.Errorf("trace line %d: %w", lineNo, err)
 		}
-		tr.Events = append(tr.Events, e)
-		switch e.Type {
-		case EventSpanStart:
-			open[e.ID] = e
-		case EventSpanEnd:
-			if _, openZero := open[0]; e.ID == 0 && !openZero {
-				// A bare id-0 end with no matching start is a service
-				// metric flush, not a span. (Tracers mint span ids from
-				// 1, but a trace that DID start span 0 still pairs.)
-				tr.Observations = append(tr.Observations, e)
-				continue
-			}
-			start, ok := open[e.ID]
-			if !ok {
-				tr.Unbalanced = append(tr.Unbalanced, e.ID)
-				continue
-			}
-			delete(open, e.ID)
-			ended[e.ID] = true
-			tr.Spans = append(tr.Spans, SpanRecord{
-				ID: e.ID, Parent: e.Parent, Stage: e.Stage,
-				TPPercent: e.TPPercent, Start: start.Time,
-				Duration: time.Duration(e.DurNS), Err: e.Err,
-				Counters: e.Counters, Gauges: e.Gauges, Hists: e.Hists,
-				Attrs: e.Attrs,
-			})
-		case EventLog:
-			tr.Logs = append(tr.Logs, e)
-		default:
-			return nil, fmt.Errorf("trace line %d: unknown event type %q", lineNo, e.Type)
+		if err := b.add(e); err != nil {
+			return nil, fmt.Errorf("trace line %d: %w", lineNo, err)
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	for id := range open {
+	return b.finish(), nil
+}
+
+// TraceFromEvents reconstructs a trace from an in-memory event stream
+// (e.g. a run's retained span events) — the same pairing rules as
+// ParseTrace without the NDJSON round-trip. Events of unknown type are
+// ignored.
+func TraceFromEvents(events []Event) *Trace {
+	b := newTraceBuilder()
+	for _, e := range events {
+		_ = b.add(e) // unknown types skipped; in-memory streams carry no others
+	}
+	return b.finish()
+}
+
+// traceBuilder accumulates events into a Trace, pairing span starts
+// with ends.
+type traceBuilder struct {
+	tr   *Trace
+	open map[int64]Event
+}
+
+func newTraceBuilder() *traceBuilder {
+	return &traceBuilder{tr: &Trace{}, open: map[int64]Event{}}
+}
+
+func (b *traceBuilder) add(e Event) error {
+	tr := b.tr
+	switch e.Type {
+	case EventSpanStart:
+		b.open[e.ID] = e
+	case EventSpanEnd:
+		if _, openZero := b.open[0]; e.ID == 0 && !openZero {
+			// A bare id-0 end with no matching start is a service
+			// metric flush, not a span. (Tracers mint span ids from
+			// 1, but a trace that DID start span 0 still pairs.)
+			tr.Events = append(tr.Events, e)
+			tr.Observations = append(tr.Observations, e)
+			return nil
+		}
+		start, ok := b.open[e.ID]
+		if !ok {
+			tr.Events = append(tr.Events, e)
+			tr.Unbalanced = append(tr.Unbalanced, e.ID)
+			return nil
+		}
+		delete(b.open, e.ID)
+		tr.Spans = append(tr.Spans, SpanRecord{
+			ID: e.ID, Parent: e.Parent, Stage: e.Stage,
+			TPPercent: e.TPPercent, Start: start.Time,
+			Duration: time.Duration(e.DurNS), CPUNS: e.CPUNS, Err: e.Err,
+			Counters: e.Counters, Gauges: e.Gauges, Hists: e.Hists,
+			Attrs: e.Attrs,
+		})
+	case EventLog:
+		tr.Logs = append(tr.Logs, e)
+	default:
+		return fmt.Errorf("unknown event type %q", e.Type)
+	}
+	tr.Events = append(tr.Events, e)
+	return nil
+}
+
+func (b *traceBuilder) finish() *Trace {
+	tr := b.tr
+	for id := range b.open {
 		tr.Unbalanced = append(tr.Unbalanced, id)
 	}
 	sort.Slice(tr.Unbalanced, func(i, j int) bool { return tr.Unbalanced[i] < tr.Unbalanced[j] })
-	return tr, nil
+	return tr
 }
 
 // Balanced reports whether every span start has a matching end and vice

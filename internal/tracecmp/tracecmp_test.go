@@ -1,4 +1,4 @@
-package main
+package tracecmp
 
 import (
 	"fmt"
@@ -49,71 +49,71 @@ var baseStages = map[string]time.Duration{
 
 func TestDiffIdenticalTraces(t *testing.T) {
 	text := synthTrace([]float64{0, 1}, baseStages, "", 1)
-	base, err := loadTrace(strings.NewReader(text))
+	base, err := LoadTrace(strings.NewReader(text))
 	if err != nil {
 		t.Fatal(err)
 	}
-	cur, err := loadTrace(strings.NewReader(text))
+	cur, err := LoadTrace(strings.NewReader(text))
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep := diff(base, cur, options{maxRegressPct: 25})
-	if len(rep.regressions) != 0 {
-		t.Fatalf("identical traces regressed: %+v", rep.regressions)
+	rep := Diff(base, cur, Options{MaxRegressPct: 25})
+	if len(rep.Regressions) != 0 {
+		t.Fatalf("identical traces regressed: %+v", rep.Regressions)
 	}
 	// 2 levels × (3 stages + run).
-	if len(rep.rows) != 8 {
-		t.Fatalf("rows = %d, want 8", len(rep.rows))
+	if len(rep.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rep.Rows))
 	}
-	for _, r := range rep.rows {
-		if r.deltaPct != 0 || r.note != "" {
-			t.Errorf("row %s: delta %.1f%%, note %q", r.key, r.deltaPct, r.note)
+	for _, r := range rep.Rows {
+		if r.DeltaPct != 0 || r.Note != "" {
+			t.Errorf("row %s: delta %.1f%%, note %q", r.Key, r.DeltaPct, r.Note)
 		}
 	}
 }
 
 func TestDiffFlagsSlowedStage(t *testing.T) {
-	base, _ := loadTrace(strings.NewReader(synthTrace([]float64{0, 1}, baseStages, "", 1)))
-	cur, _ := loadTrace(strings.NewReader(synthTrace([]float64{0, 1}, baseStages, "atpg", 1.6)))
-	rep := diff(base, cur, options{maxRegressPct: 25, minDur: 100 * time.Millisecond})
+	base, _ := LoadTrace(strings.NewReader(synthTrace([]float64{0, 1}, baseStages, "", 1)))
+	cur, _ := LoadTrace(strings.NewReader(synthTrace([]float64{0, 1}, baseStages, "atpg", 1.6)))
+	rep := Diff(base, cur, Options{MaxRegressPct: 25, MinDur: 100 * time.Millisecond})
 	// The slowed stage gates at both levels; the run spans containing it
 	// regress past 25% too (900ms of 1.5s grew 1.6x) and are also named.
 	seen := map[string]bool{}
-	for _, r := range rep.regressions {
-		if r.stage != "atpg" && r.stage != "run" {
-			t.Errorf("flagged %s, want only atpg and its runs", r.key)
+	for _, r := range rep.Regressions {
+		if r.Stage != "atpg" && r.Stage != "run" {
+			t.Errorf("flagged %s, want only atpg and its runs", r.Key)
 		}
-		seen[r.key.String()] = true
-		if r.stage == "atpg" && (r.deltaPct < 59 || r.deltaPct > 61) {
-			t.Errorf("%s delta = %.1f%%, want ~60%%", r.key, r.deltaPct)
+		seen[r.Key.String()] = true
+		if r.Stage == "atpg" && (r.DeltaPct < 59 || r.DeltaPct > 61) {
+			t.Errorf("%s delta = %.1f%%, want ~60%%", r.Key, r.DeltaPct)
 		}
 	}
 	if !seen["atpg @ tp 0.0%"] || !seen["atpg @ tp 1.0%"] {
-		t.Fatalf("regressions = %+v, want atpg at both levels", rep.regressions)
+		t.Fatalf("regressions = %+v, want atpg at both levels", rep.Regressions)
 	}
 	if !seen["atpg @ tp 1.0%"] {
 		t.Errorf("regression keys %v missing atpg @ tp 1.0%%", seen)
 	}
 	// The report names the stage and level on its regression lines.
 	var sb strings.Builder
-	rep.write(&sb)
+	rep.Write(&sb)
 	if !strings.Contains(sb.String(), "REGRESSION") || !strings.Contains(sb.String(), "atpg @ tp 1.0%") {
 		t.Fatalf("report missing regression naming:\n%s", sb.String())
 	}
 }
 
 func TestDiffNoiseFloorSuppresses(t *testing.T) {
-	base, _ := loadTrace(strings.NewReader(synthTrace([]float64{0}, baseStages, "", 1)))
-	cur, _ := loadTrace(strings.NewReader(synthTrace([]float64{0}, baseStages, "route", 2)))
+	base, _ := LoadTrace(strings.NewReader(synthTrace([]float64{0}, baseStages, "", 1)))
+	cur, _ := LoadTrace(strings.NewReader(synthTrace([]float64{0}, baseStages, "route", 2)))
 	// route doubled, but its 200ms baseline sits below the 300ms floor.
-	rep := diff(base, cur, options{maxRegressPct: 25, minDur: 300 * time.Millisecond})
-	if len(rep.regressions) != 0 {
-		t.Fatalf("noise floor did not suppress: %+v", rep.regressions)
+	rep := Diff(base, cur, Options{MaxRegressPct: 25, MinDur: 300 * time.Millisecond})
+	if len(rep.Regressions) != 0 {
+		t.Fatalf("noise floor did not suppress: %+v", rep.Regressions)
 	}
 	// Without the floor it gates.
-	rep = diff(base, cur, options{maxRegressPct: 25})
-	if len(rep.regressions) != 1 || rep.regressions[0].stage != "route" {
-		t.Fatalf("expected route regression, got %+v", rep.regressions)
+	rep = Diff(base, cur, Options{MaxRegressPct: 25})
+	if len(rep.Regressions) != 1 || rep.Regressions[0].Stage != "route" {
+		t.Fatalf("expected route regression, got %+v", rep.Regressions)
 	}
 }
 
@@ -124,20 +124,20 @@ func TestDiffNormalizeCancelsUniformSlowdown(t *testing.T) {
 	for st, d := range baseStages {
 		slowAll[st] = 2 * d
 	}
-	base, _ := loadTrace(strings.NewReader(synthTrace([]float64{0}, baseStages, "", 1)))
-	cur, _ := loadTrace(strings.NewReader(synthTrace([]float64{0}, slowAll, "", 1)))
-	if rep := diff(base, cur, options{maxRegressPct: 25}); len(rep.regressions) != 4 {
-		t.Fatalf("absolute mode should flag all 3 stages plus the run, got %+v", rep.regressions)
+	base, _ := LoadTrace(strings.NewReader(synthTrace([]float64{0}, baseStages, "", 1)))
+	cur, _ := LoadTrace(strings.NewReader(synthTrace([]float64{0}, slowAll, "", 1)))
+	if rep := Diff(base, cur, Options{MaxRegressPct: 25}); len(rep.Regressions) != 4 {
+		t.Fatalf("absolute mode should flag all 3 stages plus the run, got %+v", rep.Regressions)
 	}
-	if rep := diff(base, cur, options{maxRegressPct: 25, normalize: true}); len(rep.regressions) != 0 {
-		t.Fatalf("normalize should cancel a uniform slowdown, got %+v", rep.regressions)
+	if rep := Diff(base, cur, Options{MaxRegressPct: 25, Normalize: true}); len(rep.Regressions) != 0 {
+		t.Fatalf("normalize should cancel a uniform slowdown, got %+v", rep.Regressions)
 	}
-	// A genuine shape change still shows through -normalize: atpg's
+	// A genuine shape change still shows through -Normalize: atpg's
 	// share climbs from 60% to ~79%, +32% relative.
-	cur2, _ := loadTrace(strings.NewReader(synthTrace([]float64{0}, slowAll, "atpg", 2.5)))
-	rep := diff(base, cur2, options{maxRegressPct: 25, normalize: true})
-	if len(rep.regressions) != 1 || rep.regressions[0].stage != "atpg" {
-		t.Fatalf("normalized diff missed the shape change: %+v", rep.regressions)
+	cur2, _ := LoadTrace(strings.NewReader(synthTrace([]float64{0}, slowAll, "atpg", 2.5)))
+	rep := Diff(base, cur2, Options{MaxRegressPct: 25, Normalize: true})
+	if len(rep.Regressions) != 1 || rep.Regressions[0].Stage != "atpg" {
+		t.Fatalf("normalized diff missed the shape change: %+v", rep.Regressions)
 	}
 }
 
@@ -150,25 +150,25 @@ func TestDiffHardRegressBackstop(t *testing.T) {
 		"atpg":  9 * time.Second,
 		"route": 50 * time.Millisecond,
 	}
-	base, _ := loadTrace(strings.NewReader(synthTrace([]float64{0}, dominant, "", 1)))
-	cur, _ := loadTrace(strings.NewReader(synthTrace([]float64{0}, dominant, "atpg", 3)))
-	if rep := diff(base, cur, options{maxRegressPct: 25, minDur: 100 * time.Millisecond, normalize: true}); len(rep.regressions) != 0 {
-		t.Fatalf("share gate alone should miss a dominant-stage slip, got %+v", rep.regressions)
+	base, _ := LoadTrace(strings.NewReader(synthTrace([]float64{0}, dominant, "", 1)))
+	cur, _ := LoadTrace(strings.NewReader(synthTrace([]float64{0}, dominant, "atpg", 3)))
+	if rep := Diff(base, cur, Options{MaxRegressPct: 25, MinDur: 100 * time.Millisecond, Normalize: true}); len(rep.Regressions) != 0 {
+		t.Fatalf("share gate alone should miss a dominant-stage slip, got %+v", rep.Regressions)
 	}
-	rep := diff(base, cur, options{maxRegressPct: 25, hardRegressPct: 150, minDur: 100 * time.Millisecond, normalize: true})
+	rep := Diff(base, cur, Options{MaxRegressPct: 25, HardRegressPct: 150, MinDur: 100 * time.Millisecond, Normalize: true})
 	// The run span containing the slip regresses absolutely too (same
 	// convention as unnormalized mode).
 	var atpgNote string
-	for _, r := range rep.regressions {
-		if r.stage != "atpg" && r.stage != "run" {
-			t.Errorf("backstop flagged %s, want only atpg and its run", r.key)
+	for _, r := range rep.Regressions {
+		if r.Stage != "atpg" && r.Stage != "run" {
+			t.Errorf("backstop flagged %s, want only atpg and its run", r.Key)
 		}
-		if r.stage == "atpg" {
-			atpgNote = r.note
+		if r.Stage == "atpg" {
+			atpgNote = r.Note
 		}
 	}
 	if atpgNote == "" {
-		t.Fatalf("backstop missed the dominant-stage slip: %+v", rep.regressions)
+		t.Fatalf("backstop missed the dominant-stage slip: %+v", rep.Regressions)
 	}
 	if !strings.Contains(atpgNote, "absolute") || !strings.Contains(atpgNote, "+200%") {
 		t.Errorf("backstop note = %q, want absolute +200%% explanation", atpgNote)
@@ -179,27 +179,27 @@ func TestDiffHardRegressBackstop(t *testing.T) {
 	for st, d := range dominant {
 		slowAll[st] = 2 * d
 	}
-	cur2, _ := loadTrace(strings.NewReader(synthTrace([]float64{0}, slowAll, "", 1)))
-	if rep := diff(base, cur2, options{maxRegressPct: 25, hardRegressPct: 150, minDur: 100 * time.Millisecond, normalize: true}); len(rep.regressions) != 0 {
-		t.Fatalf("backstop gated a uniform 2x slowdown: %+v", rep.regressions)
+	cur2, _ := LoadTrace(strings.NewReader(synthTrace([]float64{0}, slowAll, "", 1)))
+	if rep := Diff(base, cur2, Options{MaxRegressPct: 25, HardRegressPct: 150, MinDur: 100 * time.Millisecond, Normalize: true}); len(rep.Regressions) != 0 {
+		t.Fatalf("backstop gated a uniform 2x slowdown: %+v", rep.Regressions)
 	}
 }
 
 func TestDiffCounterDrift(t *testing.T) {
 	text := synthTrace([]float64{0}, baseStages, "", 1)
-	base, _ := loadTrace(strings.NewReader(text))
-	cur, _ := loadTrace(strings.NewReader(strings.ReplaceAll(text, `"atpg.work":100`, `"atpg.work":140`)))
-	rep := diff(base, cur, options{maxRegressPct: 25})
+	base, _ := LoadTrace(strings.NewReader(text))
+	cur, _ := LoadTrace(strings.NewReader(strings.ReplaceAll(text, `"atpg.work":100`, `"atpg.work":140`)))
+	rep := Diff(base, cur, Options{MaxRegressPct: 25})
 	var note string
-	for _, r := range rep.rows {
-		if r.stage == "atpg" {
-			note = r.note
+	for _, r := range rep.Rows {
+		if r.Stage == "atpg" {
+			note = r.Note
 		}
 	}
 	if note != "atpg.work 100->140" {
 		t.Fatalf("counter drift note = %q", note)
 	}
-	if len(rep.regressions) != 0 {
+	if len(rep.Regressions) != 0 {
 		t.Fatal("counter drift must not gate on its own")
 	}
 }
@@ -211,19 +211,19 @@ func TestLoadLedger(t *testing.T) {
 	    "Stage/atpg": {"iterations": 6, "ns_per_op": 9e8}
 	  }
 	}`
-	s, err := loadLedger(strings.NewReader(ledger), "table1")
+	s, err := LoadLedger(strings.NewReader(ledger), "table1")
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := s.cells[key{"BenchmarkTable1_S38417", -1}]
-	if c == nil || c.durNS != 2e9 || c.counters["patterns"] != 412 {
+	c := s.Cells[Key{"BenchmarkTable1_S38417", -1}]
+	if c == nil || c.DurNS != 2e9 || c.Counters["patterns"] != 412 {
 		t.Fatalf("ledger cell = %+v", c)
 	}
-	if _, err := loadLedger(strings.NewReader(ledger), "missing"); err == nil ||
+	if _, err := LoadLedger(strings.NewReader(ledger), "missing"); err == nil ||
 		!strings.Contains(err.Error(), "table1") {
 		t.Fatalf("missing-section error should list sections, got %v", err)
 	}
-	if _, err := loadLedger(strings.NewReader("not json"), "x"); err == nil {
+	if _, err := LoadLedger(strings.NewReader("not json"), "x"); err == nil {
 		t.Fatal("garbage ledger accepted")
 	}
 }
